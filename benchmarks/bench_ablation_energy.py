@@ -1,0 +1,47 @@
+"""Ablation A3: predictor energy (§VI-A future work, realized).
+
+"Predictor energy consumption is expected to be an important concern, as
+the energy cost of continuously reading predictor SRAMs is significant."
+Measures per-instruction predictor energy for the three designs — every
+prediction reads every sub-component in parallel, so the big TAGE-L design
+pays continuously, while the metadata mechanism (§III-D) keeps update
+energy to a single write per structure.
+"""
+
+import pytest
+
+from repro import presets
+from repro.eval import run_workload
+from repro.synthesis import EnergyModel
+from repro.workloads import build_specint
+
+
+@pytest.fixture(scope="module")
+def energy_results(scale):
+    program = build_specint("gcc", scale=scale)
+    model = EnergyModel()
+    rows = []
+    for name in ("tourney", "b2", "tage_l"):
+        predictor = presets.build(name)
+        result = run_workload(predictor, program, system_name=name)
+        epi = model.energy_per_instruction(predictor, result.instructions)
+        rows.append((name, result, epi, model.component_energy(predictor)))
+    return rows
+
+
+def test_ablation_energy(benchmark, report, energy_results):
+    rows = benchmark.pedantic(lambda: energy_results, iterations=1, rounds=1)
+    lines = [f"{'design':>9s} {'pJ/instr':>9s} {'IPC':>6s} {'acc':>7s}   top consumers"]
+    for name, result, epi, components in rows:
+        top = sorted(components.items(), key=lambda kv: -kv[1])[:3]
+        top_text = ", ".join(f"{n} {e / 1e3:.0f}nJ" for n, e in top)
+        lines.append(
+            f"{name:>9s} {epi:9.1f} {result.ipc:6.2f} "
+            f"{result.branch_accuracy * 100:6.1f}%   {top_text}"
+        )
+    report("ablation_energy", "\n".join(lines))
+
+    by_name = {name: epi for name, _, epi, _ in rows}
+    # The big design costs the most energy per instruction.
+    assert by_name["tage_l"] > by_name["b2"]
+    assert by_name["tage_l"] > by_name["tourney"]

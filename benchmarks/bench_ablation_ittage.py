@@ -1,0 +1,55 @@
+"""Ablation A4: indirect-target prediction beyond the BTB.
+
+The starter library's BTB remembers one target per jump site; the ITTAGE
+extension applies tagged geometric histories to targets.  Dispatch-heavy
+workloads (perlbench/omnetpp-style interpreters) are where it pays —
+demonstrating that the COBRA interface extends cleanly to target
+prediction, one of the "may be implemented similarly" claims (§III-G).
+"""
+
+import pytest
+
+from repro.components.library import standard_library
+from repro.core import ComposerConfig, compose
+from repro.eval import run_workload
+from repro.workloads import build_specint
+
+BENCHES = ("perlbench", "omnetpp", "xalancbmk")
+
+
+def build(with_ittage: bool):
+    topo = "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"
+    if with_ittage:
+        topo = "ITTAGE3 > " + topo
+    library = standard_library(global_history_bits=64)
+    return compose(topo, library, ComposerConfig(global_history_bits=64))
+
+
+@pytest.fixture(scope="module")
+def ittage_results(scale):
+    rows = {}
+    for bench in BENCHES:
+        program = build_specint(bench, scale=scale)
+        rows[bench] = (
+            run_workload(build(False), program, system_name="btb-only"),
+            run_workload(build(True), program, system_name="+ittage"),
+        )
+    return rows
+
+
+def test_ablation_ittage(benchmark, report, ittage_results):
+    rows = benchmark.pedantic(lambda: ittage_results, iterations=1, rounds=1)
+    lines = [f"{'bench':12s} {'tgt-miss base':>14s} {'tgt-miss +it':>13s} "
+             f"{'IPC base':>9s} {'IPC +it':>8s}"]
+    for bench, (base, it) in rows.items():
+        lines.append(
+            f"{bench:12s} {base.target_mispredicts:14d} "
+            f"{it.target_mispredicts:13d} {base.ipc:9.2f} {it.ipc:8.2f}"
+        )
+    report("ablation_ittage", "\n".join(lines))
+
+    total_base = sum(base.target_mispredicts for base, _ in rows.values())
+    total_it = sum(it.target_mispredicts for _, it in rows.values())
+    assert total_it < 0.8 * total_base
+    for bench, (base, it) in rows.items():
+        assert it.ipc >= base.ipc - 0.02

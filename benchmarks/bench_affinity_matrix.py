@@ -1,0 +1,86 @@
+"""Ablation A7: the predictor-affinity matrix (§II-A).
+
+"A collection of predictors with affinities for different branch behaviors
+can be more accurate and efficient than a single generic predictor" — the
+premise behind hybrid designs.  This bench runs five predictor classes over
+ten isolated branch-behaviour micro-workloads, producing the accuracy
+matrix that premise implies: each simple predictor has behaviour classes it
+owns and classes it fails, while the TAGE-L composition covers them all.
+"""
+
+import pytest
+
+from repro import presets
+from repro.components.library import standard_library
+from repro.core import ComposerConfig, compose
+from repro.eval import run_workload
+from repro.synthesis.report import format_matrix
+from repro.workloads.micro import MICRO_NAMES, build_micro
+
+
+def _simple(topology, ghist=32):
+    def factory():
+        return compose(
+            topology,
+            standard_library(global_history_bits=ghist),
+            ComposerConfig(global_history_bits=ghist),
+        )
+
+    return factory
+
+
+SYSTEMS = {
+    "bimodal": _simple("BTB2 > BIM2"),
+    "gshare": _simple("GSHARE2 > BTB2", ghist=24),
+    "two-level-PAg": _simple("PAG3 > BTB2 > BIM2"),
+    "loop+bim": _simple("LOOP3 > BTB2 > BIM2"),
+    "tage_l": lambda: presets.build("tage_l"),
+}
+
+
+@pytest.fixture(scope="module")
+def affinity(scale):
+    matrix = {}
+    for system, factory in SYSTEMS.items():
+        matrix[system] = {}
+        for micro in MICRO_NAMES:
+            program = build_micro(micro, scale=min(scale, 0.4))
+            result = run_workload(factory(), program, system_name=system)
+            matrix[system][micro] = result.branch_accuracy * 100
+    return matrix
+
+
+def test_affinity_matrix(benchmark, report, affinity):
+    matrix = benchmark.pedantic(lambda: affinity, iterations=1, rounds=1)
+    text = "branch-direction accuracy (%) per behaviour class:\n" + format_matrix(
+        matrix, value_format="{:7.1f}", col_width=10
+    )
+    report("affinity_matrix", text)
+
+    # Everyone handles the steady loop.
+    for system in matrix:
+        assert matrix[system]["steady_loop"] > 95.0
+    # History predictors own patterns; bimodal does not.
+    assert (
+        matrix["two-level-PAg"]["pattern_short"]
+        > matrix["bimodal"]["pattern_short"] + 5
+    )
+    assert matrix["gshare"]["pattern_long"] > matrix["bimodal"]["pattern_long"] + 15
+    # The loop predictor owns counted loops; bimodal mispredicts every exit.
+    assert (
+        matrix["loop+bim"]["counted_loops"]
+        > matrix["bimodal"]["counted_loops"] + 10
+    )
+    # Nobody beats the coin flip by much.
+    for system in matrix:
+        assert matrix[system]["random"] < 78.0
+    # The composition is never the worst in any class (the hybrid premise),
+    # and wins or ties most classes.
+    wins = 0
+    for micro in MICRO_NAMES:
+        worst = min(matrix[system][micro] for system in matrix)
+        best = max(matrix[system][micro] for system in matrix)
+        assert matrix["tage_l"][micro] >= worst
+        if matrix["tage_l"][micro] >= best - 1.0:
+            wins += 1
+    assert wins >= 5

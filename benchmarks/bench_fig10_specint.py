@@ -1,0 +1,73 @@
+"""E6 — Fig. 10: branch MPKI and IPC across the SPECint17 suite.
+
+Five systems (Table III): skylake-proxy, graviton-proxy, and the three
+COBRA-BOOM variants, over the ten synthetic SPECint17 workloads, with a
+mean column (harmonic for IPC, as in the paper's HARMEAN; arithmetic for
+MPKI, which can legitimately approach zero).
+
+Shapes under test (the reproduction target — not absolute numbers):
+- TAGE-L achieves the lowest MPKI and highest IPC of the three BOOM
+  variants, on the mean and on the hard benchmarks.
+- B2 and Tournament are less accurate but much smaller designs.
+- The large-predictor proxy (skylake) leads the BOOM variants in accuracy.
+"""
+
+import pytest
+
+from repro.baselines import proxy_systems
+from repro.eval import harmonic_mean, run_suite
+from repro.eval.metrics import arithmetic_mean
+from repro.synthesis.report import format_matrix
+from repro.workloads import SPECINT_NAMES, build_specint
+
+
+@pytest.fixture(scope="module")
+def suite_results(scale):
+    programs = {name: build_specint(name, scale=scale) for name in SPECINT_NAMES}
+    systems = proxy_systems() + ["tourney", "b2", "tage_l"]
+    return run_suite(systems, programs)
+
+
+def test_fig10_specint(benchmark, report, suite_results):
+    results = benchmark.pedantic(lambda: suite_results, iterations=1, rounds=1)
+
+    mpki = {
+        system: {w: r.mpki for w, r in rows.items()}
+        for system, rows in results.items()
+    }
+    ipc = {
+        system: {w: r.ipc for w, r in rows.items()}
+        for system, rows in results.items()
+    }
+    for system in mpki:
+        mpki[system]["MEAN"] = arithmetic_mean(list(mpki[system].values()))
+        ipc[system]["HARMEAN"] = harmonic_mean(list(ipc[system].values()))
+
+    text = (
+        "Branch MPKI (conditional direction mispredicts / kilo-instruction):\n"
+        + format_matrix(mpki, value_format="{:7.1f}", col_width=10)
+        + "\n\nIPC:\n"
+        + format_matrix(ipc, value_format="{:7.2f}", col_width=10)
+    )
+    report("fig10_specint", text)
+
+    # --- shape assertions -------------------------------------------------
+    boom = ("tourney", "b2", "tage_l")
+    mean_mpki = {s: mpki[s]["MEAN"] for s in mpki}
+    mean_ipc = {s: ipc[s]["HARMEAN"] for s in ipc}
+
+    # TAGE-L best of the BOOM variants.
+    assert mean_mpki["tage_l"] < mean_mpki["b2"]
+    assert mean_mpki["tage_l"] < mean_mpki["tourney"]
+    assert mean_ipc["tage_l"] > mean_ipc["b2"]
+    assert mean_ipc["tage_l"] > mean_ipc["tourney"]
+
+    # The large commercial proxy leads the small BOOM designs on accuracy.
+    assert mean_mpki["skylake-proxy"] < mean_mpki["b2"]
+    assert mean_mpki["skylake-proxy"] < mean_mpki["tourney"]
+
+    # Easy loop-dominated benchmarks are near-solved for every system;
+    # data-dependent ones are hard for every system.
+    for system in boom:
+        assert mpki[system]["exchange2"] < mpki[system]["mcf"]
+        assert mpki[system]["x264"] < mpki[system]["deepsjeng"]

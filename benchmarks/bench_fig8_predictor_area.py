@@ -1,0 +1,43 @@
+"""E4 — Fig. 8: predictor area broken down across sub-components.
+
+Paper shapes under test: the TAGE-L pipeline is the largest; tagged
+structures (TAGE tables, BTB) dominate untagged counter tables; the
+generated management structures ("Meta": history file + history providers)
+incur non-trivial cost, largest for the Tournament design whose local
+history provider generates a PC-indexed history table.
+"""
+
+from repro import presets
+from repro.synthesis import AreaModel, format_breakdown
+
+
+def build_report() -> str:
+    model = AreaModel()
+    sections = []
+    breakdowns = {}
+    for name, label in (("tourney", "Tournament"), ("b2", "B2"), ("tage_l", "TAGE-L")):
+        predictor = presets.build(name)
+        breakdown = model.predictor_breakdown(predictor)
+        breakdowns[name] = breakdown
+        sections.append(f"{label} ({predictor.describe()}):")
+        sections.append(format_breakdown(breakdown))
+        sections.append("")
+    return "\n".join(sections), breakdowns
+
+
+def test_fig8_predictor_area(benchmark, report):
+    text, breakdowns = benchmark(build_report)
+    report("fig8_predictor_area", text)
+
+    model = AreaModel()
+    totals = {n: sum(b.values()) for n, b in breakdowns.items()}
+    # TAGE-L is the largest pipeline.
+    assert totals["tage_l"] > totals["b2"]
+    assert totals["tage_l"] > totals["tourney"]
+    # Tagged structures cost more than the untagged bimodal of equal role.
+    assert breakdowns["tage_l"]["tage"] > breakdowns["tage_l"]["bim"]
+    # Meta is non-trivial everywhere and largest for Tournament (local
+    # history provider).
+    for name in breakdowns:
+        assert breakdowns[name]["meta"] > 0
+    assert breakdowns["tourney"]["meta"] > breakdowns["b2"]["meta"]

@@ -1,0 +1,34 @@
+"""E5 — Fig. 9: whole-core area with each of the three predictors.
+
+Paper shape under test: "The total area of even a large predictor design is
+only a small portion of the area of a large superscalar out-of-order core."
+"""
+
+from repro import presets
+from repro.synthesis import AreaModel, format_breakdown
+
+
+def build_report():
+    model = AreaModel()
+    fractions = {}
+    sections = []
+    for name, label in (("tourney", "Tournament"), ("b2", "B2"), ("tage_l", "TAGE-L")):
+        predictor = presets.build(name)
+        breakdown = model.core_breakdown(predictor)
+        fractions[name] = model.predictor_fraction(predictor)
+        sections.append(
+            f"core with {label}: predictor share "
+            f"{fractions[name] * 100:.1f}% of {sum(breakdown.values()):.0f} um^2"
+        )
+        sections.append(format_breakdown(breakdown))
+        sections.append("")
+    return "\n".join(sections), fractions
+
+
+def test_fig9_core_area(benchmark, report):
+    text, fractions = benchmark(build_report)
+    report("fig9_core_area", text)
+    # Even the largest predictor is a modest slice of the core.
+    assert fractions["tage_l"] < 0.25
+    assert fractions["b2"] < fractions["tage_l"]
+    assert fractions["tourney"] < fractions["tage_l"]

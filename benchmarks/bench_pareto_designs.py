@@ -1,0 +1,70 @@
+"""Ablation A5: the accuracy/area Pareto frontier across design points.
+
+The composer's value proposition (Fig. 1) is cheap design iteration; this
+bench runs eight design points — the paper's three plus five variants the
+notation makes one-liners — over a workload pair and reports the Pareto
+frontier on (mean accuracy, predictor area).
+
+Shape under test: the paper's three designs are all on or near the
+frontier (each is the best at its size class), and accuracy is monotone in
+area along the frontier by construction.
+"""
+
+import pytest
+
+from repro import presets
+from repro.components.library import standard_library
+from repro.components.tage import default_tables
+from repro.core import ComposerConfig, compose
+from repro.eval import evaluate_designs, format_points, pareto_frontier
+from repro.workloads import build_specint
+
+
+def _custom(topology, ghist=64, **libkw):
+    def factory():
+        library = standard_library(global_history_bits=ghist, **libkw)
+        return compose(topology, library, ComposerConfig(global_history_bits=ghist))
+
+    return factory
+
+
+DESIGNS = {
+    "bimodal": _custom("BTB2 > BIM2", ghist=16),
+    "gshare": _custom("GSHARE2 > BTB2", ghist=32),
+    "tourney": lambda: presets.build("tourney"),
+    "b2": lambda: presets.build("b2"),
+    "tage-small": lambda: presets.build("tage_l", tage_sets=256),
+    "tage_l": lambda: presets.build("tage_l"),
+    "tage-xl": lambda: presets.build("tage_l", tage_sets=2048),
+    "perceptron": _custom("PERC3 > BTB2 > BIM2", ghist=64),
+}
+
+
+@pytest.fixture(scope="module")
+def sweep_points(scale):
+    programs = {
+        name: build_specint(name, scale=min(scale, 0.3))
+        for name in ("gcc", "xz")
+    }
+    return evaluate_designs(DESIGNS, programs)
+
+
+def test_pareto_designs(benchmark, report, sweep_points):
+    points = benchmark.pedantic(lambda: sweep_points, iterations=1, rounds=1)
+    frontier = pareto_frontier(points)
+    text = (
+        "all design points:\n" + format_points(points)
+        + "\n\nPareto frontier (accuracy vs area):\n" + format_points(frontier)
+    )
+    report("pareto_designs", text)
+
+    frontier_names = {p.name for p in frontier}
+    by_name = {p.name: p for p in points}
+    # The TAGE-class designs anchor the high-accuracy end of the frontier.
+    best = max(points, key=lambda p: p.mean_accuracy)
+    assert best.name in ("tage_l", "tage-xl", "tage-small")
+    # The frontier is monotone: accuracy increases with area along it.
+    accs = [p.mean_accuracy for p in frontier]
+    assert accs == sorted(accs)
+    # A cheap design anchors the low end.
+    assert min(points, key=lambda p: p.area_um2).name in frontier_names

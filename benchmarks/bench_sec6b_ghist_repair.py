@@ -1,0 +1,75 @@
+"""E8 — §VI-B: repairing the global history with vs. without fetch replay.
+
+Paper: replaying fetch with the corrected history "improved mean IPC by 15%
+and reduced the branch mispredict rate by 25% across all SPECint
+benchmarks", but on short loop-based benchmarks the extra bubbles hurt
+(Dhrystone: -3% IPC).
+
+Shapes under test: replay reduces mispredicts and raises mean IPC on the
+SPECint set; on Dhrystone (near-perfect prediction, so replay bubbles are
+pure cost) the IPC gain disappears or reverses.
+"""
+
+import pytest
+
+from repro import presets
+from repro.eval import harmonic_mean, run_workload
+from repro.workloads import build_dhrystone, build_specint
+
+BENCHES = ("perlbench", "mcf", "omnetpp", "xz", "leela")
+
+
+def run_pair(program):
+    replay = run_workload(
+        presets.build("tage_l", ghist_repair_mode="replay",
+                      ghist_repair_bubbles=1),
+        program, system_name="replay")
+    stale = run_workload(
+        presets.build("tage_l", ghist_repair_mode="no_replay",
+                      ghist_corruption_window=8),
+        program, system_name="no-replay")
+    return replay, stale
+
+
+@pytest.fixture(scope="module")
+def repair_results(scale):
+    results = {}
+    for bench in BENCHES:
+        results[bench] = run_pair(build_specint(bench, scale=scale))
+    results["dhrystone"] = run_pair(build_dhrystone(scale=scale))
+    return results
+
+
+def test_sec6b_ghist_repair(benchmark, report, repair_results):
+    results = benchmark.pedantic(lambda: repair_results, iterations=1, rounds=1)
+    lines = [f"{'bench':12s} {'IPC(replay)':>12s} {'IPC(stale)':>11s} "
+             f"{'dIPC':>7s} {'miss(replay)':>13s} {'miss(stale)':>12s}"]
+    for bench, (replay, stale) in results.items():
+        d_ipc = 100 * (replay.ipc / stale.ipc - 1)
+        lines.append(
+            f"{bench:12s} {replay.ipc:12.2f} {stale.ipc:11.2f} {d_ipc:+6.1f}% "
+            f"{replay.branch_mispredicts:13d} {stale.branch_mispredicts:12d}"
+        )
+    spec = [b for b in results if b != "dhrystone"]
+    mean_replay = harmonic_mean([results[b][0].ipc for b in spec])
+    mean_stale = harmonic_mean([results[b][1].ipc for b in spec])
+    miss_replay = sum(results[b][0].branch_mispredicts for b in spec)
+    miss_stale = sum(results[b][1].branch_mispredicts for b in spec)
+    lines.append(
+        f"{'SPEC MEAN':12s} {mean_replay:12.2f} {mean_stale:11.2f} "
+        f"{100 * (mean_replay / mean_stale - 1):+6.1f}%  "
+        f"mispredict reduction {100 * (1 - miss_replay / miss_stale):.1f}%"
+    )
+    report("sec6b_ghist_repair", "\n".join(lines))
+
+    # Replay substantially reduces mispredicts on the SPEC set (paper: 25%).
+    assert miss_replay < 0.85 * miss_stale
+    # ...and improves mean IPC (paper: +15%; our simulator's flush costs are
+    # shallower, so the gain is smaller but must be positive).
+    assert mean_replay > mean_stale
+    # On Dhrystone prediction is near-perfect, so replay's bubbles buy
+    # little: its IPC advantage there is smaller than the SPEC mean gain.
+    dhry_replay, dhry_stale = results["dhrystone"]
+    dhry_gain = dhry_replay.ipc / dhry_stale.ipc
+    spec_gain = mean_replay / mean_stale
+    assert dhry_gain <= spec_gain + 0.01

@@ -1,0 +1,19 @@
+"""E3 — Table III: the evaluated systems of the Fig. 10 comparison.
+
+Five systems: two commercial-core proxies and the three COBRA-BOOM
+variants, with their measurement platforms (DESIGN.md documents the
+hardware -> proxy substitution).
+"""
+
+from repro.eval.comparison import evaluated_systems, format_table
+
+
+def test_table3_systems(benchmark, report):
+    table = benchmark(lambda: format_table(evaluated_systems()))
+    report("table3_systems", table)
+    systems = evaluated_systems()
+    assert len(systems) == 5
+    # Every system must be runnable: factories build fresh predictors.
+    for system in systems:
+        predictor = system.predictor_factory()
+        assert predictor.can_predict

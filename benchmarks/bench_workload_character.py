@@ -1,0 +1,51 @@
+"""Workload characterization: the branch-character table behind Fig. 10.
+
+Captures a branch trace of every synthetic SPECint workload and summarizes
+branch density, taken rate, indirect share, and the hard-branch population
+(share of static conditional sites with mixed outcomes).  This documents
+that the synthetic suite actually spans the behaviour classes the paper's
+benchmarks span — the foundation of the DESIGN.md workload substitution.
+"""
+
+import pytest
+
+from repro.workloads import SPECINT_NAMES, build_specint, capture_trace
+
+
+@pytest.fixture(scope="module")
+def characterization(scale):
+    rows = {}
+    for name in SPECINT_NAMES:
+        trace = capture_trace(build_specint(name, scale=min(scale, 0.3)))
+        rows[name] = trace.characterize()
+    return rows
+
+
+def test_workload_character(benchmark, report, characterization):
+    rows = benchmark.pedantic(lambda: characterization, iterations=1, rounds=1)
+    lines = [
+        f"{'bench':12s} {'br/instr':>9s} {'taken':>7s} {'indirect':>9s} "
+        f"{'call/ret':>9s} {'sites':>6s} {'mixed':>7s}"
+    ]
+    for name, stats in rows.items():
+        lines.append(
+            f"{name:12s} {stats['branch_density']:9.3f} "
+            f"{stats['taken_rate'] * 100:6.1f}% "
+            f"{stats['indirect_share'] * 100:8.1f}% "
+            f"{stats['call_ret_share'] * 100:8.1f}% "
+            f"{stats['static_cond_sites']:6.0f} "
+            f"{stats['mixed_site_share'] * 100:6.1f}%"
+        )
+    report("workload_characterization", "\n".join(lines))
+
+    # The suite spans behaviour classes:
+    densities = {n: s["branch_density"] for n, s in rows.items()}
+    mixed = {n: s["mixed_site_share"] for n, s in rows.items()}
+    # Loop-dominated exchange2 has a lower hard-branch share than the
+    # search codes.
+    assert mixed["exchange2"] <= mixed["deepsjeng"]
+    assert mixed["x264"] <= max(mixed["mcf"], mixed["leela"])
+    # Dispatch-heavy codes carry indirect branches; loopy ones carry few.
+    assert rows["perlbench"]["indirect_share"] > rows["exchange2"]["indirect_share"]
+    # Everything is meaningfully branchy (synthetic int codes).
+    assert all(0.05 < d < 0.6 for d in densities.values())

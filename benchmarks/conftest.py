@@ -1,0 +1,43 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each ``bench_*.py`` file regenerates one table or figure from the paper
+(see the experiment index in DESIGN.md).  Benchmarks print their rows and
+also write them under ``benchmarks/results/`` so EXPERIMENTS.md can cite a
+concrete artifact.
+
+Scaling: workload sizes are multiplied by the ``REPRO_BENCH_SCALE``
+environment variable (default 0.4).  The paper runs trillions of cycles on
+FPGAs; these benches target minutes on a laptop while preserving the
+comparative shapes.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.4"))
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write a named result artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n===== {name} =====")
+        print(text)
+        return path
+
+    return _write

@@ -1,0 +1,55 @@
+"""Design exploration: sweep predictor topologies over one workload.
+
+This is the workflow the composer exists for (§IV): express several design
+points as topology strings — including variations the paper discusses, like
+where to attach a loop predictor relative to a tournament — build each one,
+and compare accuracy, IPC, and estimated area side by side.
+
+Run:  python examples/design_exploration.py
+"""
+
+from repro.components.library import standard_library
+from repro.core import ComposerConfig, compose
+from repro.eval import run_workload
+from repro.synthesis import AreaModel
+from repro.workloads import build_specint
+
+#: Candidate design points, in the paper's topology notation.  The last
+#: three are the §IV-A1 loop-predictor placement alternatives.
+DESIGNS = [
+    ("bimodal only", "BIM2", 16),
+    ("gshare", "GSHARE2", 32),
+    ("B2 (BOOM v2)", "GTAG3 > BTB2 > BIM2", 16),
+    ("tournament", "TOURNEY3 > [GBIM2 > BTB2, LBIM2]", 32),
+    ("TAGE", "TAGE3 > BTB2 > BIM2", 64),
+    ("TAGE-L", "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1", 64),
+    ("perceptron", "PERC3 > BTB2 > BIM2", 64),
+    ("tourney+loop@g", "TOURNEY3 > [(LOOP2 > GBIM2 > BTB2), LBIM2]", 32),
+    ("tourney+loop@l", "TOURNEY3 > [GBIM2 > BTB2, (LOOP2 > LBIM2)]", 32),
+    ("loop>tourney", "LOOP3 > TOURNEY3 > [GBIM2 > BTB2, LBIM2]", 32),
+]
+
+
+def main(workload: str = "omnetpp", scale: float = 0.5) -> None:
+    program = build_specint(workload, scale=scale)
+    area_model = AreaModel()
+    print(f"workload: {workload} ({scale=})\n")
+    header = f"{'design':16s} {'topology':46s} {'MPKI':>7s} {'IPC':>6s} {'acc':>7s} {'KiB':>7s} {'area':>9s}"
+    print(header)
+    print("-" * len(header))
+    for label, topology, ghist_bits in DESIGNS:
+        library = standard_library(global_history_bits=ghist_bits)
+        predictor = compose(
+            topology, library, ComposerConfig(global_history_bits=ghist_bits)
+        )
+        result = run_workload(predictor, program, system_name=label)
+        area = area_model.predictor_total(predictor)
+        print(
+            f"{label:16s} {topology:46s} {result.mpki:7.1f} {result.ipc:6.2f} "
+            f"{result.branch_accuracy * 100:6.1f}% "
+            f"{predictor.direction_storage_kib():7.1f} {area:9.0f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

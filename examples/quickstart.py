@@ -1,0 +1,38 @@
+"""Quickstart: compose a predictor from a topology string and evaluate it.
+
+The COBRA flow in five lines: pick a topology (the paper's notation),
+compose it against the standard sub-component library, attach it to the
+BOOM-like host core, run a workload, read the numbers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import compose
+from repro.eval import run_workload
+from repro.synthesis import AreaModel, format_breakdown
+from repro.workloads import build_specint
+
+
+def main() -> None:
+    # The paper's TAGE-L design (§V-A): a loop corrector over TAGE over a
+    # BTB, PC-indexed bimodal, and single-cycle micro-BTB.
+    predictor = compose("LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1")
+    print(f"composed: {predictor.describe()}  (pipeline depth {predictor.depth})")
+    print(f"direction storage: {predictor.direction_storage_kib():.1f} KiB")
+
+    # Run a synthetic SPECint17-like workload on the 4-wide core model.
+    program = build_specint("xz", scale=0.5)
+    result = run_workload(predictor, program, system_name="TAGE-L")
+    print()
+    print(result.row())
+    print(f"  branches={result.branches}  mispredicts={result.branch_mispredicts}"
+          f"  (+{result.target_mispredicts} indirect-target)")
+
+    # Physical-design feedback from the analytical synthesis model (Fig. 8).
+    print()
+    print("area breakdown:")
+    print(format_breakdown(AreaModel().predictor_breakdown(predictor)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""COBRA: a framework for evaluating compositions of hardware branch
+predictors — cycle-level Python reproduction of Zhao et al., ISPASS 2021.
+
+Public API tour
+---------------
+- :mod:`repro.core` — the COBRA interface, topology notation, and composer.
+- :mod:`repro.components` — the sub-component library (BIM, BTB, uBTB,
+  GTag, Tourney, TAGE, loop predictor, plus perceptron/SC extensions).
+- :mod:`repro.frontend` — the BOOM-like host core: a speculative
+  superscalar fetch unit and simplified out-of-order backend.
+- :mod:`repro.isa` / :mod:`repro.workloads` — the tiny RISC substrate and
+  synthetic SPECint17-like workloads.
+- :mod:`repro.presets` — the paper's three evaluated designs (TAGE-L, B2,
+  Tournament; Table I).
+- :mod:`repro.eval` — run workloads on cores, collect MPKI/IPC.
+- :mod:`repro.synthesis` — the analytical area model (Figs. 8-9).
+- :mod:`repro.baselines` — commercial-core proxy predictors (Table III).
+
+Quickstart::
+
+    from repro import compose, presets
+    from repro.eval import run_workload
+    from repro.workloads import specint
+
+    predictor = presets.tage_l()
+    result = run_workload(predictor, specint.build("xz"))
+    print(result.ipc, result.mpki)
+"""
+
+from repro.core import compose
+from repro import presets
+
+__version__ = "1.0.0"
+
+__all__ = ["compose", "presets", "__version__"]

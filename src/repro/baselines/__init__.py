@@ -1,0 +1,19 @@
+"""Commercial-core proxies for the Table III / Fig. 10 comparison.
+
+The paper compares its COBRA-BOOM variants against Intel Skylake
+(c5n.metal) and AWS Graviton (a1.metal) running the same workloads, using
+hardware ``perf`` counters.  Those machines (and their undisclosed
+predictors) are unavailable; the proxies here are built *with the COBRA
+framework itself*, sized and shaped to play the same comparative role: a
+large state-of-the-art composition on a wider core ("skylake-proxy") and a
+mid-size composition on a moderate core ("graviton-proxy").  See DESIGN.md
+for the substitution argument.
+"""
+
+from repro.baselines.proxy_cores import (
+    graviton_proxy,
+    skylake_proxy,
+    proxy_systems,
+)
+
+__all__ = ["graviton_proxy", "skylake_proxy", "proxy_systems"]

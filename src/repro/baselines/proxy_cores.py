@@ -1,0 +1,91 @@
+"""Proxy systems standing in for the commercial comparison cores.
+
+Both proxies are ordinary COBRA compositions — a nice demonstration that
+the framework expresses predictor design points well beyond the paper's
+three (the statistical corrector and perceptron extensions are exercised
+here).
+
+- **skylake-proxy**: a large TAGE + statistical corrector + loop predictor
+  over a big BTB/bimodal/uBTB stack, with long (128-bit) global history, on
+  a 6-wide, 224-entry-ROB core.  Stands in for Intel Skylake.
+- **graviton-proxy**: a mid-size 5-table TAGE over BTB/bimodal on a 3-wide,
+  128-entry-ROB core.  Stands in for the Cortex-A72-based AWS Graviton.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+from repro.components.library import standard_library
+from repro.components.tage import default_tables
+from repro.core.composer import ComposedPredictor, ComposerConfig, compose
+from repro.frontend.config import CoreConfig
+
+
+def skylake_proxy() -> Tuple[ComposedPredictor, CoreConfig]:
+    """A big, aggressive composition on a wide core (Skylake stand-in)."""
+    library = standard_library(
+        fetch_width=4,
+        global_history_bits=128,
+        bim_sets=8192,
+        btb_sets=1024,
+        btb_ways=8,
+        ubtb_entries=64,
+        loop_entries=512,
+        tage_tables=default_tables(
+            n_tables=10, n_sets=2048, min_history=4, max_history=128, tag_bits=11
+        ),
+    )
+    predictor = compose(
+        "SC3 > LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+        library,
+        ComposerConfig(global_history_bits=128),
+    )
+    core = CoreConfig(
+        decode_width=6,
+        commit_width=6,
+        rob_entries=224,
+        fetch_buffer_packets=8,
+    )
+    return predictor, core
+
+
+def graviton_proxy() -> Tuple[ComposedPredictor, CoreConfig]:
+    """A mid-size composition on a narrower core (Graviton/A72 stand-in)."""
+    library = standard_library(
+        fetch_width=4,
+        global_history_bits=48,
+        bim_sets=2048,
+        btb_sets=512,
+        btb_ways=2,
+        tage_tables=default_tables(
+            n_tables=5, n_sets=1024, min_history=4, max_history=48, tag_bits=9
+        ),
+    )
+    predictor = compose(
+        "TAGE3 > BTB2 > BIM2",
+        library,
+        ComposerConfig(global_history_bits=48),
+    )
+    core = CoreConfig(
+        decode_width=3,
+        commit_width=3,
+        rob_entries=128,
+        fetch_buffer_packets=4,
+    )
+    return predictor, core
+
+
+def proxy_systems() -> List[Tuple[str, Callable, CoreConfig]]:
+    """System specs for :func:`repro.eval.runner.run_suite`."""
+
+    def _sky():
+        return skylake_proxy()[0]
+
+    def _grav():
+        return graviton_proxy()[0]
+
+    return [
+        ("skylake-proxy", _sky, skylake_proxy()[1]),
+        ("graviton-proxy", _grav, graviton_proxy()[1]),
+    ]

@@ -1,0 +1,176 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+- ``run``      — run one workload on one predictor, print the metrics.
+- ``sweep``    — run a set of workloads across a set of predictors.
+- ``area``     — area breakdown of a predictor (Fig. 8 style).
+- ``storage``  — Table-I style storage summary of the three presets.
+- ``topology`` — parse and describe a topology string (sanity check).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import presets
+from repro.core import compose
+from repro.eval import harmonic_mean, run_suite, run_workload
+from repro.eval.metrics import arithmetic_mean
+from repro.frontend import CoreConfig
+from repro.synthesis import AreaModel, EnergyModel, format_breakdown
+from repro.synthesis.report import format_matrix
+from repro.workloads import (
+    SPECINT_NAMES,
+    build_coremark,
+    build_dhrystone,
+    build_specint,
+)
+
+WORKLOAD_NAMES = tuple(SPECINT_NAMES) + ("dhrystone", "coremark")
+
+
+def _build_workload(name: str, scale: float):
+    if name == "dhrystone":
+        return build_dhrystone(scale)
+    if name == "coremark":
+        return build_coremark(scale)
+    return build_specint(name, scale)
+
+
+def _build_predictor(spec: str):
+    """A preset name or a raw topology string."""
+    key = spec.lower().replace("-", "_")
+    if key in presets.PRESET_NAMES:
+        return presets.build(key)
+    return compose(spec)
+
+
+def _cmd_run(args) -> int:
+    program = _build_workload(args.workload, args.scale)
+    predictor = _build_predictor(args.predictor)
+    config = CoreConfig(sfb_enabled=args.sfb)
+    result = run_workload(predictor, program, config, system_name=args.predictor)
+    print(result.row())
+    print(
+        f"  branches={result.branches} mispredicts={result.branch_mispredicts} "
+        f"indirect-misses={result.target_mispredicts} flushes={result.flushes}"
+    )
+    if args.energy:
+        epi = EnergyModel().energy_per_instruction(predictor, result.instructions)
+        print(f"  predictor energy: {epi:.1f} pJ/instruction")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    names = (
+        list(WORKLOAD_NAMES)
+        if args.workloads == ["all"]
+        else args.workloads
+    )
+    programs = {name: _build_workload(name, args.scale) for name in names}
+    results = run_suite(args.predictors, programs)
+    mpki = {s: {w: r.mpki for w, r in rows.items()} for s, rows in results.items()}
+    ipc = {s: {w: r.ipc for w, r in rows.items()} for s, rows in results.items()}
+    for system in results:
+        mpki[system]["MEAN"] = arithmetic_mean(list(mpki[system].values()))
+        ipc[system]["HMEAN"] = harmonic_mean(list(ipc[system].values()))
+    print("MPKI:")
+    print(format_matrix(mpki, value_format="{:7.1f}", col_width=10))
+    print("\nIPC:")
+    print(format_matrix(ipc, value_format="{:7.2f}", col_width=10))
+    return 0
+
+
+def _cmd_area(args) -> int:
+    predictor = _build_predictor(args.predictor)
+    model = AreaModel()
+    print(f"{predictor.describe()}")
+    print(f"direction storage: {predictor.direction_storage_kib():.1f} KiB")
+    print(format_breakdown(model.predictor_breakdown(predictor)))
+    print(f"share of core area: {model.predictor_fraction(predictor) * 100:.1f}%")
+    return 0
+
+
+def _cmd_storage(args) -> int:
+    for name in presets.PRESET_NAMES:
+        predictor = presets.build(name)
+        print(
+            f"{name:10s} {predictor.describe():44s} "
+            f"direction={predictor.direction_storage_kib():6.1f} KiB  "
+            f"total={predictor.total_storage_kib():6.1f} KiB"
+        )
+    return 0
+
+
+def _cmd_topology(args) -> int:
+    predictor = compose(args.spec)
+    print(f"parsed:    {predictor.describe()}")
+    print(f"depth:     {predictor.depth} cycles")
+    print(f"components ({len(predictor.components)}):")
+    for component in predictor.components:
+        flags = []
+        if component.uses_global_history:
+            flags.append("ghist")
+        if component.uses_local_history:
+            flags.append("lhist")
+        if getattr(component, "uses_path_history", False):
+            flags.append("phist")
+        if component.provides_targets:
+            flags.append("targets")
+        print(
+            f"  {component.name:10s} latency={component.latency} "
+            f"meta_bits={component.meta_bits:3d} "
+            f"[{', '.join(flags) if flags else 'pc-only'}]"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="COBRA branch-predictor composition framework (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload on one predictor")
+    run.add_argument("--predictor", default="tage_l",
+                     help="preset name or topology string")
+    run.add_argument("--workload", default="xz", choices=WORKLOAD_NAMES)
+    run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--sfb", action="store_true",
+                     help="enable short-forwards-branch predication")
+    run.add_argument("--energy", action="store_true",
+                     help="also report predictor energy per instruction")
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="workloads x predictors matrix")
+    sweep.add_argument("--predictors", nargs="+",
+                       default=["tourney", "b2", "tage_l"])
+    sweep.add_argument("--workloads", nargs="+", default=["all"])
+    sweep.add_argument("--scale", type=float, default=0.3)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    area = sub.add_parser("area", help="area breakdown of a predictor")
+    area.add_argument("--predictor", default="tage_l")
+    area.set_defaults(func=_cmd_area)
+
+    storage = sub.add_parser("storage", help="Table-I storage summary")
+    storage.set_defaults(func=_cmd_storage)
+
+    topology = sub.add_parser("topology", help="parse a topology string")
+    topology.add_argument("spec")
+    topology.set_defaults(func=_cmd_topology)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,154 @@
+"""Shared building blocks for predictor sub-components.
+
+:class:`MetaCodec` gives components a declarative way to pack structured
+per-prediction state into the interface's fixed-width metadata integer
+(§III-D), mirroring how RTL implementations concatenate bitfields.
+
+:class:`IndexScheme` implements the parameterized indexing option of the
+counter tables (§III-G1): "indexed by a global history, local history, PC,
+or any hashed combination of the above".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro._util import fold_history, hash_pc, mask
+
+FieldSpec = Tuple[str, int, int]  # (name, bits, count)
+
+
+class MetaCodec:
+    """Packs named bitfields (scalars or fixed-length vectors) into an int.
+
+    Fields are packed LSB-first in declaration order.  A field declared with
+    ``count > 1`` packs a vector of that many ``bits``-wide lanes — the
+    common case for superscalar components that store one counter per fetch
+    slot.
+
+    Example::
+
+        codec = MetaCodec([("hit", 1, 1), ("ctr", 2, 4)])
+        meta = codec.pack(hit=1, ctr=[3, 0, 1, 2])
+        fields = codec.unpack(meta)   # {"hit": 1, "ctr": [3, 0, 1, 2]}
+    """
+
+    def __init__(self, fields: Sequence[Union[Tuple[str, int], FieldSpec]]):
+        self._fields: List[FieldSpec] = []
+        offset = 0
+        self._offsets: Dict[str, Tuple[int, int, int]] = {}
+        for spec in fields:
+            if len(spec) == 2:
+                name, bits = spec  # type: ignore[misc]
+                count = 1
+            else:
+                name, bits, count = spec  # type: ignore[misc]
+            if bits <= 0 or count <= 0:
+                raise ValueError(f"field {name!r}: bits and count must be positive")
+            if name in self._offsets:
+                raise ValueError(f"duplicate metadata field {name!r}")
+            self._fields.append((name, bits, count))
+            self._offsets[name] = (offset, bits, count)
+            offset += bits * count
+        self.width = offset
+
+    def pack(self, **values) -> int:
+        meta = 0
+        for name, bits, count in self._fields:
+            value = values.pop(name, 0)
+            lanes = value if count > 1 else [value]
+            if len(lanes) != count:
+                raise ValueError(
+                    f"field {name!r} expects {count} lanes, got {len(lanes)}"
+                )
+            offset, _, _ = self._offsets[name]
+            for lane_value in lanes:
+                lane_int = int(lane_value)
+                if lane_int < 0 or lane_int > mask(bits):
+                    raise ValueError(
+                        f"field {name!r}: value {lane_int} exceeds {bits} bits"
+                    )
+                meta |= lane_int << offset
+                offset += bits
+        if values:
+            raise ValueError(f"unknown metadata fields: {sorted(values)}")
+        return meta
+
+    def unpack(self, meta: int) -> Dict[str, Union[int, List[int]]]:
+        out: Dict[str, Union[int, List[int]]] = {}
+        for name, bits, count in self._fields:
+            offset, _, _ = self._offsets[name]
+            lanes = []
+            for _ in range(count):
+                lanes.append((meta >> offset) & mask(bits))
+                offset += bits
+            out[name] = lanes if count > 1 else lanes[0]
+        return out
+
+
+class IndexScheme:
+    """Computes set indices for counter tables from PC and histories.
+
+    Supported schemes:
+
+    - ``"pc"``      — hashed fetch PC only.
+    - ``"ghist"``   — folded global history only (Alpha-21264 global table).
+    - ``"lhist"``   — folded local history XOR a short PC hash (two-level
+      local predictor second stage).
+    - ``"gshare"``  — PC hash XOR folded global history (GShare).
+    """
+
+    SCHEMES = ("pc", "ghist", "lhist", "gshare", "gselect", "phist", "pshare")
+
+    def __init__(self, scheme: str, index_bits: int, history_bits: int = 0):
+        if scheme not in self.SCHEMES:
+            raise ValueError(
+                f"unknown index scheme {scheme!r}; choose from {self.SCHEMES}"
+            )
+        if scheme != "pc" and history_bits <= 0:
+            raise ValueError(f"scheme {scheme!r} requires history_bits > 0")
+        self.scheme = scheme
+        self.index_bits = index_bits
+        self.history_bits = history_bits
+
+    @property
+    def uses_global_history(self) -> bool:
+        return self.scheme in ("ghist", "gshare", "gselect")
+
+    @property
+    def uses_local_history(self) -> bool:
+        return self.scheme == "lhist"
+
+    @property
+    def uses_path_history(self) -> bool:
+        return self.scheme in ("phist", "pshare")
+
+    def index(self, packet_pc: int, ghist: int, lhist: int, phist: int = 0) -> int:
+        bits = self.index_bits
+        if self.scheme == "pc":
+            return hash_pc(packet_pc, bits)
+        if self.scheme == "ghist":
+            return fold_history(ghist, self.history_bits, bits)
+        if self.scheme == "gshare":
+            return hash_pc(packet_pc, bits) ^ fold_history(
+                ghist, self.history_bits, bits
+            )
+        if self.scheme == "gselect":
+            # GSelect [McFarling 1993]: concatenate PC bits with history
+            # bits instead of XORing them.
+            hist_part = bits // 2
+            pc_part = bits - hist_part
+            return (hash_pc(packet_pc, pc_part) << hist_part) | (
+                ghist & ((1 << hist_part) - 1)
+            )
+        if self.scheme == "phist":
+            return fold_history(phist, self.history_bits, bits)
+        if self.scheme == "pshare":
+            return hash_pc(packet_pc, bits) ^ fold_history(
+                phist, self.history_bits, bits
+            )
+        # "lhist": fold the local history and mix in a little PC so distinct
+        # branches with identical histories do not always collide.
+        return fold_history(lhist, self.history_bits, bits) ^ hash_pc(
+            packet_pc, max(bits - 2, 1)
+        )

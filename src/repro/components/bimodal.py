@@ -1,0 +1,129 @@
+"""HBIM: bimodal counter tables with parameterized indexing (§III-G1).
+
+A superscalar counter table: each row holds ``fetch_width`` saturating
+counters, so adjacent branches within one fetch packet read distinct
+counters instead of aliasing onto a single entry (§III-C).  The metadata
+field stores the counter values read at predict time so the table is not
+re-read at update time (§III-D).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._util import counter_taken, log2_exact, saturating_update
+from repro.components.base import IndexScheme, MetaCodec
+from repro.core.events import PredictRequest, UpdateBundle
+from repro.core.interface import PredictorComponent, StorageReport
+from repro.core.prediction import PredictionVector
+
+
+class HBIM(PredictorComponent):
+    """History/PC-indexed bimodal counter table.
+
+    Parameters
+    ----------
+    n_sets:
+        Number of rows (power of two).  Total counters = ``n_sets *
+        fetch_width``.
+    index:
+        Index scheme name; see :class:`~repro.components.base.IndexScheme`.
+    history_bits:
+        History length consumed by history-based index schemes.
+    counter_bits:
+        Width of each saturating counter (2 for classic bimodal).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        latency: int = 2,
+        n_sets: int = 2048,
+        fetch_width: int = 4,
+        index: str = "pc",
+        history_bits: int = 0,
+        counter_bits: int = 2,
+    ):
+        self._scheme = IndexScheme(index, log2_exact(n_sets), history_bits)
+        self._codec = MetaCodec([("ctr", counter_bits, fetch_width)])
+        super().__init__(
+            name,
+            latency,
+            meta_bits=self._codec.width,
+            uses_global_history=self._scheme.uses_global_history,
+            uses_local_history=self._scheme.uses_local_history,
+        )
+        self.uses_path_history = self._scheme.uses_path_history
+        if latency < 2 and self.uses_path_history:
+            from repro.core.interface import InterfaceError
+
+            raise InterfaceError(
+                f"{name}: path history arrives at the end of cycle 1"
+            )
+        self.n_sets = n_sets
+        self.fetch_width = fetch_width
+        self.counter_bits = counter_bits
+        # Initialize weakly not-taken.
+        self._weak_nt = (1 << (counter_bits - 1)) - 1
+        self._table = np.full((n_sets, fetch_width), self._weak_nt, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    def _index(self, req_pc: int, ghist: int, lhist: int, phist: int = 0) -> int:
+        packet_pc = req_pc - (req_pc % self.fetch_width)
+        return self._scheme.index(packet_pc // self.fetch_width, ghist, lhist, phist)
+
+    def lookup(
+        self, req: PredictRequest, predict_in: Sequence[PredictionVector]
+    ) -> Tuple[PredictionVector, int]:
+        row = self._table[self._index(req.fetch_pc, req.ghist, req.lhist, req.phist)]
+        out = predict_in[0].copy()
+        offset = req.fetch_pc % self.fetch_width
+        for slot_idx, slot in enumerate(out.slots):
+            counter = int(row[offset + slot_idx])
+            # An untagged table provides a base direction for every slot; it
+            # does not know branch locations or targets, so those fields pass
+            # through from predict_in (§III-F).
+            slot.hit = True
+            if not slot.is_jump:
+                slot.taken = counter_taken(counter, self.counter_bits)
+        meta = self._codec.pack(ctr=[int(c) for c in row])
+        return out, meta
+
+    # ------------------------------------------------------------------
+    def on_update(self, bundle: UpdateBundle) -> None:
+        """Commit-time update of every resolved conditional branch slot."""
+        if not any(bundle.br_mask):
+            return
+        counters = self._codec.unpack(bundle.meta)["ctr"]
+        index = self._index(bundle.fetch_pc, bundle.ghist, bundle.lhist, bundle.phist)
+        offset = bundle.fetch_pc % self.fetch_width
+        row = self._table[index]
+        for slot_idx, is_branch in enumerate(bundle.br_mask):
+            if not is_branch:
+                continue
+            lane = offset + slot_idx
+            taken = bundle.taken_mask[slot_idx]
+            # Update from the predict-time counter value carried in the
+            # metadata, avoiding a second read port on the table (§III-D).
+            row[lane] = saturating_update(
+                int(counters[lane]), taken, self.counter_bits
+            )
+
+    # ------------------------------------------------------------------
+    def storage(self) -> StorageReport:
+        bits = self.n_sets * self.fetch_width * self.counter_bits
+        return StorageReport(
+            self.name,
+            sram_bits=bits,
+            breakdown={"counters": bits},
+            access_bits=self.fetch_width * self.counter_bits,
+        )
+
+    def reset(self) -> None:
+        self._table.fill(self._weak_nt)
+
+    # Exposed for tests.
+    def counter_at(self, index: int, lane: int) -> int:
+        return int(self._table[index, lane])

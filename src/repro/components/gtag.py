@@ -1,0 +1,138 @@
+"""GTag: a single partially tagged history-indexed counter table.
+
+This is the backing direction predictor of the original BOOM design (the
+"B2" topology in §V-A pairs a partially tagged table of history-indexed
+counters, GTAG, with a PC-indexed bimodal).  On a tag hit it overrides the
+incoming direction; on a miss it passes ``predict_in`` through (§III-F).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._util import (
+    counter_taken,
+    fold_history,
+    hash_pc,
+    log2_exact,
+    mask,
+    saturating_update,
+)
+from repro.components.base import MetaCodec
+from repro.core.events import PredictRequest, UpdateBundle
+from repro.core.interface import PredictorComponent, StorageReport
+from repro.core.prediction import PredictionVector
+
+
+class GTag(PredictorComponent):
+    """Partially tagged, global-history-indexed superscalar counter table."""
+
+    def __init__(
+        self,
+        name: str,
+        latency: int = 3,
+        n_sets: int = 512,
+        fetch_width: int = 4,
+        history_bits: int = 16,
+        tag_bits: int = 10,
+        counter_bits: int = 2,
+    ):
+        self._codec = MetaCodec(
+            [("hit", 1), ("ctr", counter_bits, fetch_width)]
+        )
+        super().__init__(
+            name,
+            latency,
+            meta_bits=self._codec.width,
+            uses_global_history=True,
+        )
+        self.n_sets = n_sets
+        self.fetch_width = fetch_width
+        self.history_bits = history_bits
+        self.tag_bits = tag_bits
+        self.counter_bits = counter_bits
+        self._index_bits = log2_exact(n_sets)
+        self._weak_nt = (1 << (counter_bits - 1)) - 1
+        self._valid = np.zeros(n_sets, dtype=bool)
+        self._tags = np.zeros(n_sets, dtype=np.int64)
+        self._ctrs = np.full((n_sets, fetch_width), self._weak_nt, dtype=np.uint8)
+
+    # ------------------------------------------------------------------
+    def _index_tag(self, fetch_pc: int, ghist: int) -> Tuple[int, int]:
+        packet = (fetch_pc - (fetch_pc % self.fetch_width)) // self.fetch_width
+        folded = fold_history(ghist, self.history_bits, self._index_bits)
+        index = hash_pc(packet, self._index_bits) ^ folded
+        tag = (
+            (packet >> 2)
+            ^ fold_history(ghist, self.history_bits, self.tag_bits)
+        ) & mask(self.tag_bits)
+        return index, tag
+
+    def lookup(
+        self, req: PredictRequest, predict_in: Sequence[PredictionVector]
+    ) -> Tuple[PredictionVector, int]:
+        index, tag = self._index_tag(req.fetch_pc, req.ghist)
+        out = predict_in[0].copy()
+        hit = bool(self._valid[index]) and int(self._tags[index]) == tag
+        row = self._ctrs[index]
+        if hit:
+            offset = req.fetch_pc % self.fetch_width
+            for slot_idx, slot in enumerate(out.slots):
+                if slot.is_jump:
+                    continue
+                slot.hit = True
+                slot.taken = counter_taken(
+                    int(row[offset + slot_idx]), self.counter_bits
+                )
+        meta = self._codec.pack(hit=int(hit), ctr=[int(c) for c in row])
+        return out, meta
+
+    # ------------------------------------------------------------------
+    def on_update(self, bundle: UpdateBundle) -> None:
+        if not any(bundle.br_mask):
+            return
+        fields = self._codec.unpack(bundle.meta)
+        index, tag = self._index_tag(bundle.fetch_pc, bundle.ghist)
+        offset = bundle.fetch_pc % self.fetch_width
+        was_hit = bool(fields["hit"])
+        if was_hit:
+            counters = fields["ctr"]
+            row = self._ctrs[index]
+            for slot_idx, is_branch in enumerate(bundle.br_mask):
+                if is_branch:
+                    lane = offset + slot_idx
+                    row[lane] = saturating_update(
+                        int(counters[lane]),
+                        bundle.taken_mask[slot_idx],
+                        self.counter_bits,
+                    )
+        elif bundle.mispredicted:
+            # Allocate on a misprediction the backing predictor got wrong:
+            # claim the set, seeding counters weakly toward the outcomes.
+            self._valid[index] = True
+            self._tags[index] = tag
+            self._ctrs[index, :] = self._weak_nt
+            for slot_idx, is_branch in enumerate(bundle.br_mask):
+                if is_branch:
+                    lane = offset + slot_idx
+                    taken = bundle.taken_mask[slot_idx]
+                    self._ctrs[index, lane] = (
+                        self._weak_nt + 1 if taken else self._weak_nt
+                    )
+
+    # ------------------------------------------------------------------
+    def storage(self) -> StorageReport:
+        counter_bits = self.n_sets * self.fetch_width * self.counter_bits
+        tag_bits = self.n_sets * (self.tag_bits + 1)
+        return StorageReport(
+            self.name,
+            sram_bits=counter_bits + tag_bits,
+            breakdown={"counters": counter_bits, "tags": tag_bits},
+            access_bits=self.fetch_width * self.counter_bits + self.tag_bits + 1,
+        )
+
+    def reset(self) -> None:
+        self._valid.fill(False)
+        self._ctrs.fill(self._weak_nt)

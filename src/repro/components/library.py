@@ -1,0 +1,190 @@
+"""The standard COBRA component library.
+
+Registers factories for every sub-component under the base names used by
+the paper's topology notation (§V-A)::
+
+    LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1          (TAGE-L)
+    GTAG3 > BTB2 > BIM2                          (B2)
+    TOURNEY3 > [GBIM2 > BTB2, LBIM2]             (Tournament)
+
+Factories take ``(instance_name, latency)``; structural parameters are
+bound at registration time so per-design sizing (Table I) composes by
+building a library with :func:`standard_library` keyword overrides.
+"""
+
+from __future__ import annotations
+
+from repro.components.bimodal import HBIM
+from repro.components.btb import BTB, MicroBTB
+from repro.components.gtag import GTag
+from repro.components.ittage import ITTAGE
+from repro.components.loop import LoopPredictor
+from repro.components.perceptron import Perceptron
+from repro.components.statistical_corrector import StatisticalCorrector
+from repro.components.tage import TAGE, default_tables
+from repro.components.tournament import Tourney
+from repro.components.twolevel import TwoLevel
+from repro.core.parser import ComponentLibrary
+
+
+def standard_library(
+    fetch_width: int = 4,
+    global_history_bits: int = 64,
+    local_history_bits: int = 32,
+    bim_sets: int = 4096,
+    gbim_sets: int = 4096,
+    lbim_sets: int = 256,
+    btb_sets: int = 512,
+    btb_ways: int = 4,
+    ubtb_entries: int = 32,
+    gtag_sets: int = 512,
+    gtag_history_bits: int = 16,
+    tourney_sets: int = 256,
+    tourney_history_bits: int = 32,
+    tage_tables=None,
+    loop_entries: int = 256,
+    perceptron_entries: int = 256,
+) -> ComponentLibrary:
+    """Build the standard sub-component library (Fig. 1, §III-G).
+
+    The defaults size the shared structures to match Table I: a 16K-counter
+    bimodal BHT (4096 sets x 4 slots), 2K-entry BTB (512 sets x 4 ways),
+    32-entry uBTB, 2K partially tagged counters (512 sets x 4), 1K
+    tournament counters (256 sets x 4), 7 TAGE tables over 64 bits of
+    global history, and a 256-entry loop predictor.
+    """
+    library = ComponentLibrary()
+    library.register(
+        "BIM",
+        lambda name, latency: HBIM(
+            name, latency, n_sets=bim_sets, fetch_width=fetch_width, index="pc"
+        ),
+    )
+    library.register(
+        "GBIM",
+        lambda name, latency: HBIM(
+            name,
+            latency,
+            n_sets=gbim_sets,
+            fetch_width=fetch_width,
+            index="ghist",
+            history_bits=tourney_history_bits,
+        ),
+    )
+    library.register(
+        "LBIM",
+        lambda name, latency: HBIM(
+            name,
+            latency,
+            n_sets=lbim_sets,
+            fetch_width=fetch_width,
+            index="lhist",
+            history_bits=local_history_bits,
+        ),
+    )
+    library.register(
+        "PSHARE",
+        lambda name, latency: HBIM(
+            name,
+            latency,
+            n_sets=gbim_sets,
+            fetch_width=fetch_width,
+            index="pshare",
+            history_bits=32,
+        ),
+    )
+    library.register(
+        "GSELECT",
+        lambda name, latency: HBIM(
+            name,
+            latency,
+            n_sets=gbim_sets,
+            fetch_width=fetch_width,
+            index="gselect",
+            history_bits=global_history_bits,
+        ),
+    )
+    library.register(
+        "GSHARE",
+        lambda name, latency: HBIM(
+            name,
+            latency,
+            n_sets=gbim_sets,
+            fetch_width=fetch_width,
+            index="gshare",
+            history_bits=global_history_bits,
+        ),
+    )
+    library.register(
+        "BTB",
+        lambda name, latency: BTB(
+            name, latency, n_sets=btb_sets, n_ways=btb_ways, fetch_width=fetch_width
+        ),
+    )
+    library.register(
+        "UBTB",
+        lambda name, latency: MicroBTB(
+            name, latency, n_entries=ubtb_entries, fetch_width=fetch_width
+        ),
+    )
+    library.register(
+        "GTAG",
+        lambda name, latency: GTag(
+            name,
+            latency,
+            n_sets=gtag_sets,
+            fetch_width=fetch_width,
+            history_bits=gtag_history_bits,
+        ),
+    )
+    library.register(
+        "TOURNEY",
+        lambda name, latency: Tourney(
+            name,
+            latency,
+            n_sets=tourney_sets,
+            fetch_width=fetch_width,
+            history_bits=tourney_history_bits,
+        ),
+    )
+    library.register(
+        "TAGE",
+        lambda name, latency: TAGE(
+            name,
+            latency,
+            fetch_width=fetch_width,
+            tables=tage_tables if tage_tables is not None else default_tables(),
+        ),
+    )
+    library.register(
+        "ITTAGE",
+        lambda name, latency: ITTAGE(name, latency, fetch_width=fetch_width),
+    )
+    library.register(
+        "LOOP",
+        lambda name, latency: LoopPredictor(
+            name, latency, n_entries=loop_entries, fetch_width=fetch_width
+        ),
+    )
+    library.register(
+        "PERC",
+        lambda name, latency: Perceptron(
+            name, latency, n_entries=perceptron_entries, fetch_width=fetch_width
+        ),
+    )
+    # Yeh-Patt two-level adaptive variants (registered names are
+    # case-insensitive at the parser; canonical forms are GAg/GAp/PAg/PAp).
+    for canonical in ("GAg", "GAp", "PAg", "PAp"):
+        library.register(
+            canonical.upper(),
+            (lambda v: lambda name, latency: TwoLevel(
+                name, latency, variant=v, fetch_width=fetch_width
+            ))(canonical),
+        )
+    library.register(
+        "SC",
+        lambda name, latency: StatisticalCorrector(
+            name, latency, fetch_width=fetch_width
+        ),
+    )
+    return library

@@ -1,0 +1,217 @@
+"""Two-level adaptive predictors [Yeh & Patt 1991] — library extension.
+
+The foundational §II-A citation: a first-level *history register table*
+(one shift register per branch set, or one global register) indexes a
+second-level *pattern history table* of saturating counters.  The four
+classic organizations come from the two choices:
+
+============  =====================  ======================
+variant       level-1 history        level-2 pattern table
+============  =====================  ======================
+``GAg``       one global register    one global table
+``GAp``       one global register    per-branch-set tables
+``PAg``       per-branch registers   one global table
+``PAp``       per-branch registers   per-branch-set tables
+============  =====================  ======================
+
+Unlike the `HBIM` local variant (which consumes the composer's local
+history provider), this component owns its level-1 table internally and
+keeps it consistent using the event protocol: histories advance
+speculatively at ``fire`` time and are restored from metadata on ``repair``
+and ``mispredict`` — the same discipline the loop predictor follows, which
+is exactly why the paper's interface carries metadata to those events.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro._util import (
+    counter_taken,
+    hash_pc,
+    log2_exact,
+    mask,
+    saturating_update,
+    shift_in,
+)
+from repro.components.base import MetaCodec
+from repro.core.events import PredictRequest, UpdateBundle
+from repro.core.interface import InterfaceError, PredictorComponent, StorageReport
+from repro.core.prediction import PredictionVector
+
+VARIANTS = ("GAg", "GAp", "PAg", "PAp")
+
+
+class TwoLevel(PredictorComponent):
+    """Yeh-Patt two-level adaptive predictor (one prediction per packet).
+
+    Tracks one branch per fetch packet (the first branch slot identified by
+    ``predict_in``), like the other single-candidate components (§III-C).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        latency: int = 3,
+        variant: str = "PAg",
+        fetch_width: int = 4,
+        history_bits: int = 10,
+        l1_entries: int = 256,
+        l2_sets_per_table: int = 1024,
+        l2_tables: int = 16,
+        counter_bits: int = 2,
+    ):
+        if variant not in VARIANTS:
+            raise InterfaceError(
+                f"{name}: unknown two-level variant {variant!r}; "
+                f"choose from {VARIANTS}"
+            )
+        if (1 << history_bits) > l2_sets_per_table:
+            raise InterfaceError(
+                f"{name}: pattern table ({l2_sets_per_table} sets) cannot "
+                f"index {history_bits} history bits"
+            )
+        lane_bits = max(1, (fetch_width - 1).bit_length())
+        self._codec = MetaCodec(
+            [
+                ("cand_valid", 1),
+                ("lane", lane_bits),
+                ("hist", history_bits),
+                ("ctr", counter_bits),
+            ]
+        )
+        super().__init__(
+            name,
+            latency,
+            meta_bits=self._codec.width,
+            # GAg/GAp read the composer's global history; PAg/PAp own theirs.
+            uses_global_history=variant.startswith("G"),
+        )
+        self.variant = variant
+        self.fetch_width = fetch_width
+        self.history_bits = history_bits
+        self.counter_bits = counter_bits
+        self.l1_entries = l1_entries
+        self._l1_index_bits = log2_exact(l1_entries)
+        self._weak_nt = (1 << (counter_bits - 1)) - 1
+        # Level 1: per-branch history registers (P variants only).
+        self._l1 = np.zeros(l1_entries, dtype=np.int64)
+        # Level 2: pattern tables.
+        self.l2_tables = l2_tables if variant.endswith("p") else 1
+        self.l2_sets = l2_sets_per_table
+        self._l2_index_bits = log2_exact(l2_sets_per_table)
+        self._l2 = np.full(
+            (self.l2_tables, l2_sets_per_table), self._weak_nt, dtype=np.uint8
+        )
+
+    # ------------------------------------------------------------------
+    def _l1_index(self, branch_pc: int) -> int:
+        return hash_pc(branch_pc, self._l1_index_bits)
+
+    def _level1_history(self, branch_pc: int, ghist: int) -> int:
+        if self.variant.startswith("G"):
+            return ghist & mask(self.history_bits)
+        return int(self._l1[self._l1_index(branch_pc)]) & mask(self.history_bits)
+
+    def _l2_slot(self, branch_pc: int, history: int) -> Tuple[int, int]:
+        table = (
+            hash_pc(branch_pc, max(1, (self.l2_tables - 1).bit_length()))
+            % self.l2_tables
+        )
+        index = history & mask(self._l2_index_bits)
+        return table, index
+
+    # ------------------------------------------------------------------
+    def lookup(
+        self, req: PredictRequest, predict_in: Sequence[PredictionVector]
+    ) -> Tuple[PredictionVector, int]:
+        out = predict_in[0].copy()
+        for lane, slot in enumerate(predict_in[0].slots):
+            if not (slot.hit and slot.is_branch):
+                continue
+            branch_pc = req.fetch_pc + lane
+            history = self._level1_history(branch_pc, req.ghist)
+            table, index = self._l2_slot(branch_pc, history)
+            counter = int(self._l2[table, index])
+            out.slots[lane].hit = True
+            out.slots[lane].taken = counter_taken(counter, self.counter_bits)
+            meta = self._codec.pack(
+                cand_valid=1, lane=lane, hist=history, ctr=counter
+            )
+            return out, meta
+        return out, self._codec.pack(cand_valid=0, lane=0, hist=0, ctr=0)
+
+    # ------------------------------------------------------------------
+    def _meta(self, bundle: UpdateBundle):
+        fields = self._codec.unpack(bundle.meta)
+        if not fields["cand_valid"]:
+            return None
+        lane = int(fields["lane"])
+        if lane >= len(bundle.br_mask) or not bundle.br_mask[lane]:
+            return None
+        return lane, int(fields["hist"]), int(fields["ctr"])
+
+    def fire(self, bundle: UpdateBundle) -> None:
+        """Speculatively advance the per-branch history (P variants)."""
+        if self.variant.startswith("G"):
+            return  # the composer's global provider handles speculation
+        info = self._meta(bundle)
+        if info is None:
+            return
+        lane, _, _ = info
+        index = self._l1_index(bundle.fetch_pc + lane)
+        self._l1[index] = shift_in(
+            int(self._l1[index]), bundle.taken_mask[lane], self.history_bits
+        )
+
+    def on_repair(self, bundle: UpdateBundle) -> None:
+        """Restore the misspeculated per-branch history from metadata."""
+        if self.variant.startswith("G"):
+            return
+        info = self._meta(bundle)
+        if info is None:
+            return
+        lane, history, _ = info
+        self._l1[self._l1_index(bundle.fetch_pc + lane)] = history
+
+    def on_mispredict(self, bundle: UpdateBundle) -> None:
+        """Fast repair: predict-time history plus the corrected outcome."""
+        if self.variant.startswith("G"):
+            return
+        info = self._meta(bundle)
+        if info is None:
+            return
+        lane, history, _ = info
+        corrected = shift_in(history, bundle.taken_mask[lane], self.history_bits)
+        self._l1[self._l1_index(bundle.fetch_pc + lane)] = corrected
+
+    def on_update(self, bundle: UpdateBundle) -> None:
+        """Commit-time pattern-table training from the metadata counter."""
+        info = self._meta(bundle)
+        if info is None:
+            return
+        lane, history, counter = info
+        taken = bundle.taken_mask[lane]
+        table, index = self._l2_slot(bundle.fetch_pc + lane, history)
+        self._l2[table, index] = saturating_update(
+            counter, taken, self.counter_bits
+        )
+
+    # ------------------------------------------------------------------
+    def storage(self) -> StorageReport:
+        l1_bits = (
+            0 if self.variant.startswith("G") else self.l1_entries * self.history_bits
+        )
+        l2_bits = self.l2_tables * self.l2_sets * self.counter_bits
+        return StorageReport(
+            self.name,
+            sram_bits=l1_bits + l2_bits,
+            breakdown={"l1_histories": l1_bits, "l2_patterns": l2_bits},
+            access_bits=self.history_bits + self.counter_bits,
+        )
+
+    def reset(self) -> None:
+        self._l1.fill(0)
+        self._l2.fill(self._weak_nt)

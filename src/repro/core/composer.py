@@ -1,0 +1,580 @@
+"""The COBRA predictor composer (§IV).
+
+Given a topological representation of a predictor design, the composer
+builds a complete predictor pipeline from sub-components and synthesizes the
+predictor management structures: history providers, the history file, and
+the predict/update/repair state machine.  The result,
+:class:`ComposedPredictor`, is a drop-in prediction pipeline for a host
+core's fetch unit (§IV-C) — the frontend model in :mod:`repro.frontend`
+plays the role BOOM plays in the paper.
+
+Protocol with the host frontend
+-------------------------------
+- ``predict(fetch_pc, slots, ras_top)`` — query at Fetch-0.  Returns staged
+  per-cycle final predictions plus the pre-decode-corrected final packet.
+  Allocates a history-file entry, fires speculative updates, and advances
+  the speculative histories.
+- ``squash_after(ftq_id)`` — internal pipeline redirect or flush: younger
+  entries are squashed and repaired.
+- ``resolve_mispredict(ftq_id, slot, taken, target)`` — backend-detected
+  misprediction: squash + repair younger state, restore histories from the
+  entry snapshot, issue the fast ``mispredict`` event.
+- ``commit_packet(ftq_id)`` — the packet's last instruction committed:
+  dequeue the entry and issue commit-time ``update`` events.
+
+Pre-decode and history timing
+-----------------------------
+The speculative global history must advance at query time (the next packet
+is queried one cycle later), using the packet's *final* predicted
+directions at its *true* branch locations.  Hardware achieves this with
+per-stage history registers fixed up by pre-decode at Fetch-3; we model the
+steady-state result directly: the frontend supplies pre-decoded slot kinds
+(it owns instruction memory, as BOOM's fetch unit owns its I-cache data)
+and the composer applies them to the final-stage prediction.  Components
+never observe pre-decode information at lookup time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro._util import shift_in
+from repro.core.events import PredictRequest, UpdateBundle
+from repro.core.history import (
+    GlobalHistoryProvider,
+    LocalHistoryProvider,
+    PathHistoryProvider,
+)
+from repro.core.history_file import HistoryFile, HistoryFileEntry
+from repro.core.interface import InterfaceError, PredictorComponent, StorageReport
+from repro.core.parser import ComponentLibrary, parse_topology
+from repro.core.prediction import PredictionVector, packet_span
+from repro.core.repair import RepairStateMachine, bundle_from_entry
+from repro.core.topology import TopologyNode, validate_topology
+
+
+@dataclass(frozen=True)
+class PreDecodedSlot:
+    """Instruction-kind information for one slot, known by Fetch-3.
+
+    ``is_sfb`` marks short-forwards branches the decoder converts to
+    predicated micro-ops (§VI-C): they are invisible to the predictor.
+    """
+
+    valid: bool = True
+    is_cond_branch: bool = False
+    is_jal: bool = False
+    is_jalr: bool = False
+    is_call: bool = False
+    is_ret: bool = False
+    direct_target: Optional[int] = None
+    is_sfb: bool = False
+
+    @property
+    def is_cfi(self) -> bool:
+        return (self.is_cond_branch and not self.is_sfb) or self.is_jal or self.is_jalr
+
+
+@dataclass
+class ComposerConfig:
+    """Parameters of the generated management structures (§IV-B)."""
+
+    fetch_width: int = 4
+    global_history_bits: int = 64
+    local_history_entries: int = 256
+    local_history_bits: int = 32
+    ftq_entries: int = 32
+    #: Path-history register length (§IV-B3); built only when a component
+    #: declares ``uses_path_history``.
+    path_history_bits: int = 32
+    repair_walk_width: int = 2
+    #: "replay" refetches after a mispredict once the repaired history is
+    #: available (extra bubbles, accurate history); "no_replay" lets the
+    #: first post-redirect queries predict with the corrupted history
+    #: (§VI-B).
+    ghist_repair_mode: str = "replay"
+    #: Replay mode: extra fetch bubbles per mispredict while the snapshot
+    #: restore reaches the predictor.
+    ghist_repair_bubbles: int = 2
+    #: No-replay mode: number of post-redirect queries that still see the
+    #: corrupted history (the corruption persists until the repair
+    #: percolates through the prediction pipeline).
+    ghist_corruption_window: int = 8
+    #: Serialize the instruction stream behind branches: the fetch packet
+    #: is cut at the first control-flow instruction regardless of its
+    #: predicted direction (§I measures the cost of this on a 4-wide core).
+    serialize_cfi: bool = False
+
+    def __post_init__(self):
+        if self.ghist_repair_mode not in ("replay", "no_replay"):
+            raise ValueError(
+                f"unknown ghist repair mode {self.ghist_repair_mode!r}"
+            )
+
+
+@dataclass
+class PredictResult:
+    """Everything the fetch unit learns from one predictor query."""
+
+    ftq_id: int
+    fetch_pc: int
+    width: int
+    fetched_len: int
+    staged: List[PredictionVector]
+    final: PredictionVector
+    cut: Optional[int]
+    next_fetch_pc: int
+
+
+@dataclass
+class MispredictResponse:
+    """Latency feedback from a mispredict resolution."""
+
+    walk_cycles: int
+    extra_redirect_bubbles: int
+
+
+@dataclass
+class ComposerStats:
+    predictions: int = 0
+    committed_packets: int = 0
+    committed_branches: int = 0
+    committed_jumps: int = 0
+    direction_mispredicts: int = 0
+    target_mispredicts: int = 0
+    stale_history_queries: int = 0
+
+    @property
+    def mispredicts(self) -> int:
+        return self.direction_mispredicts + self.target_mispredicts
+
+
+class ComposedPredictor:
+    """A complete predictor pipeline with generated management structures."""
+
+    def __init__(self, topology: TopologyNode, config: Optional[ComposerConfig] = None):
+        self.config = config or ComposerConfig()
+        self.topology = topology
+        self.components: Tuple[PredictorComponent, ...] = validate_topology(topology)
+        self.depth = max(c.latency for c in self.components)
+        self._uses_local = any(c.uses_local_history for c in self.components)
+        self._uses_path = any(
+            getattr(c, "uses_path_history", False) for c in self.components
+        )
+        self._global = GlobalHistoryProvider(self.config.global_history_bits)
+        self._path = (
+            PathHistoryProvider(self.config.path_history_bits)
+            if self._uses_path
+            else None
+        )
+        self._local = (
+            LocalHistoryProvider(
+                self.config.local_history_entries,
+                self.config.local_history_bits,
+                self.config.fetch_width,
+            )
+            if self._uses_local
+            else None
+        )
+        self.history_file = HistoryFile(self.config.ftq_entries)
+        self._repair = RepairStateMachine(
+            self.components,
+            self._local if self._local is not None else LocalHistoryProvider(1, 1),
+            self.config.repair_walk_width,
+        )
+        self.stats = ComposerStats()
+        # No-replay staleness window state (§VI-B).
+        self._stale_queries_remaining = 0
+        self._stale_ghist = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def can_predict(self) -> bool:
+        """False when the history file is full (fetch must stall)."""
+        return not self.history_file.full
+
+    def describe(self) -> str:
+        return self.topology.describe()
+
+    # ------------------------------------------------------------------
+    # Predict
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        fetch_pc: int,
+        slots: Sequence[PreDecodedSlot],
+        ras_top: Optional[int] = None,
+    ) -> PredictResult:
+        width = len(slots)
+        expected = packet_span(fetch_pc, self.config.fetch_width)
+        if width != expected:
+            raise InterfaceError(
+                f"packet at pc {fetch_pc} must span {expected} slots, got {width}"
+            )
+        if self.history_file.full:
+            raise InterfaceError("predict() called while the history file is full")
+
+        chain_ghist = self._global.read()
+        used_stale = self._stale_queries_remaining > 0
+        if used_stale:
+            req_ghist = self._stale_ghist
+            self._stale_queries_remaining -= 1
+            self.stats.stale_history_queries += 1
+        else:
+            req_ghist = chain_ghist
+        if self._local is not None:
+            lhist_index, lhist = self._local.read(fetch_pc)
+        else:
+            lhist_index, lhist = 0, 0
+        phist = self._path.read() if self._path is not None else 0
+
+        req = PredictRequest(fetch_pc, width, req_ghist, lhist, phist)
+        metas: Dict[str, int] = {}
+        staged_raw = self.topology.evaluate(req, self.depth, metas)
+        staged = [
+            vector if vector is not None else PredictionVector.fallthrough(fetch_pc, width)
+            for vector in staged_raw
+        ]
+
+        final = self._apply_predecode(staged[-1], slots, ras_top)
+        cut, next_pc = self._cut_and_next(fetch_pc, final, slots)
+        fetched_len = width if cut is None else cut + 1
+
+        br_mask = tuple(
+            slots[i].is_cond_branch and not slots[i].is_sfb and i < fetched_len
+            for i in range(width)
+        )
+        taken_mask = tuple(
+            br_mask[i] and final.slots[i].taken for i in range(width)
+        )
+        cfi_idx = cut if cut is not None and final.slots[cut].redirects else None
+        if self.config.serialize_cfi and cut is not None and slots[cut].is_cfi:
+            # In serialized mode the packet ends at the CFI either way; the
+            # entry records it as the packet's CFI only when taken.
+            pass
+
+        entry = self.history_file.allocate(
+            fetch_pc=fetch_pc,
+            width=width,
+            req_ghist=req_ghist,
+            chain_ghist=chain_ghist,
+            lhist_index=lhist_index,
+            lhist_snapshot=lhist,
+            phist_snapshot=phist,
+            metas=metas,
+            br_mask=br_mask,
+            taken_mask=taken_mask,
+            cfi_idx=cfi_idx,
+            cfi_taken=bool(cfi_idx is not None and taken_mask[cfi_idx])
+            or bool(cfi_idx is not None and final.slots[cfi_idx].is_jump),
+            cfi_target=final.slots[cfi_idx].target if cfi_idx is not None else None,
+            cfi_is_br=bool(cfi_idx is not None and slots[cfi_idx].is_cond_branch),
+            cfi_is_jal=bool(cfi_idx is not None and slots[cfi_idx].is_jal),
+            cfi_is_jalr=bool(cfi_idx is not None and slots[cfi_idx].is_jalr),
+        )
+
+        fire_bundle = bundle_from_entry(entry)
+        for component in self.components:
+            component.fire(fire_bundle.with_meta(metas[component.name]))
+
+        outcomes = [taken_mask[i] for i in range(width) if br_mask[i]]
+        self._global.speculate(outcomes)
+        if used_stale:
+            for taken in outcomes:
+                self._stale_ghist = shift_in(
+                    self._stale_ghist, taken, self.config.global_history_bits
+                )
+        if self._local is not None:
+            self._local.speculate(lhist_index, outcomes)
+        if self._path is not None and cfi_idx is not None:
+            target = final.slots[cfi_idx].target
+            if final.slots[cfi_idx].redirects and target is not None:
+                self._path.speculate_taken(target)
+
+        self.stats.predictions += 1
+        return PredictResult(
+            ftq_id=entry.ftq_id,
+            fetch_pc=fetch_pc,
+            width=width,
+            fetched_len=fetched_len,
+            staged=staged,
+            final=final,
+            cut=cut,
+            next_fetch_pc=next_pc,
+        )
+
+    def _apply_predecode(
+        self,
+        final: PredictionVector,
+        slots: Sequence[PreDecodedSlot],
+        ras_top: Optional[int],
+    ) -> PredictionVector:
+        """Correct the final prediction with decoded instruction kinds.
+
+        BOOM's fetch unit pre-decodes fetched bytes by Fetch-3: bogus
+        predictions on non-CFI slots are dropped, direct targets are
+        computed from the instruction bits, unconditional jumps become
+        taken, and returns take the RAS target.
+        """
+        vec = final.copy()
+        for i, info in enumerate(slots):
+            slot = vec.slots[i]
+            if not info.valid or info.is_sfb or not info.is_cfi:
+                slot.hit = False
+                slot.is_branch = False
+                slot.is_jump = False
+                slot.taken = False
+                slot.target = None
+            elif info.is_cond_branch:
+                slot.is_branch = True
+                slot.is_jump = False
+                slot.target = info.direct_target if slot.taken else None
+            elif info.is_jal:
+                slot.is_jump = True
+                slot.is_branch = False
+                slot.taken = True
+                slot.target = info.direct_target
+            else:  # JALR: indirect target comes from the RAS or the BTB
+                slot.is_jump = True
+                slot.is_branch = False
+                slot.taken = True
+                if info.is_ret and ras_top is not None:
+                    slot.target = ras_top
+        return vec
+
+    def _cut_and_next(
+        self,
+        fetch_pc: int,
+        final: PredictionVector,
+        slots: Sequence[PreDecodedSlot],
+    ) -> Tuple[Optional[int], int]:
+        """Where the packet ends, and the next fetch PC."""
+        width = len(slots)
+        cut: Optional[int] = None
+        for i in range(width):
+            if final.slots[i].redirects:
+                cut = i
+                break
+            if self.config.serialize_cfi and slots[i].is_cfi:
+                cut = i
+                break
+        aligned_next = (
+            fetch_pc - (fetch_pc % self.config.fetch_width) + self.config.fetch_width
+        )
+        if cut is None:
+            return None, aligned_next
+        slot = final.slots[cut]
+        if slot.redirects:
+            if slot.target is not None:
+                return cut, slot.target
+            return cut, aligned_next  # taken but target unknown: fall through
+        return cut, fetch_pc + cut + 1  # serialized not-taken CFI
+
+    # ------------------------------------------------------------------
+    # Squash / repair / resolve
+    # ------------------------------------------------------------------
+    def squash_after(self, ftq_id: int) -> int:
+        """Squash entries younger than ``ftq_id``; return walk cycles."""
+        squashed = self.history_file.squash_after(ftq_id)
+        if not squashed:
+            return 0
+        self._global.restore(squashed[0].chain_ghist)
+        if self._path is not None:
+            self._path.restore(squashed[0].phist_snapshot)
+        return self._repair.repair(squashed)
+
+    def resolve_mispredict(
+        self,
+        ftq_id: int,
+        slot: int,
+        actual_taken: bool,
+        actual_target: Optional[int],
+        is_direction_mispredict: bool = True,
+    ) -> MispredictResponse:
+        """A backend-resolved misprediction for ``slot`` of entry ``ftq_id``."""
+        entry = self.history_file.get(ftq_id)
+        squashed = self.history_file.squash_after(ftq_id)
+        walk_cycles = self._repair.repair(squashed)
+
+        corrupted_ghist = self._global.read()
+
+        width = entry.width
+        new_br = tuple(entry.br_mask[i] if i <= slot else False for i in range(width))
+        new_taken = tuple(
+            (actual_taken if i == slot else entry.taken_mask[i]) if i <= slot else False
+            for i in range(width)
+        )
+        entry.br_mask = new_br
+        entry.taken_mask = new_taken
+        entry.mispredicted = True
+        entry.mispredict_idx = slot
+        entry.resolved_cfi_target = actual_target
+        if entry.cfi_is_br or is_direction_mispredict:
+            if actual_taken:
+                entry.cfi_idx = slot
+                entry.cfi_taken = True
+                entry.cfi_target = actual_target
+                entry.cfi_is_br = True
+                entry.cfi_is_jal = False
+                entry.cfi_is_jalr = False
+            elif entry.cfi_idx is not None and entry.cfi_idx == slot:
+                # Predicted taken, actually not taken: the packet no longer
+                # ends in a taken CFI.
+                entry.cfi_idx = None
+                entry.cfi_taken = False
+                entry.cfi_target = None
+                entry.cfi_is_br = False
+        else:
+            # Indirect-target mispredict: direction stands, target corrected.
+            entry.cfi_target = actual_target
+
+        # Restore the speculative histories from the snapshot plus the
+        # packet's corrected outcomes.
+        outcomes = [new_taken[i] for i in range(width) if new_br[i]]
+        ghist = entry.chain_ghist
+        for taken in outcomes:
+            ghist = shift_in(ghist, taken, self.config.global_history_bits)
+        self._global.restore(ghist)
+        if self._local is not None:
+            lhist = entry.lhist_snapshot
+            for taken in outcomes:
+                lhist = shift_in(lhist, taken, self.config.local_history_bits)
+            self._local.write(entry.lhist_index, lhist)
+        if self._path is not None:
+            self._path.restore(entry.phist_snapshot)
+            if entry.cfi_taken and actual_target is not None:
+                self._path.speculate_taken(actual_target)
+
+        extra_bubbles = 0
+        if self.config.ghist_repair_mode == "replay":
+            # Fetch replays only once the corrected history is available.
+            extra_bubbles = self.config.ghist_repair_bubbles
+        else:
+            # The original design: the first post-redirect queries see the
+            # corrupted history while the repair propagates (§VI-B).
+            self._stale_ghist = corrupted_ghist
+            self._stale_queries_remaining = self.config.ghist_corruption_window
+
+        bundle = bundle_from_entry(entry, mispredicted=True)
+        for component in self.components:
+            meta = entry.metas.get(component.name, 0)
+            component.on_mispredict(bundle.with_meta(meta))
+
+        if is_direction_mispredict:
+            self.stats.direction_mispredicts += 1
+        else:
+            self.stats.target_mispredicts += 1
+        return MispredictResponse(walk_cycles, extra_bubbles)
+
+    # ------------------------------------------------------------------
+    # Commit
+    # ------------------------------------------------------------------
+    def commit_packet(self, ftq_id: int) -> None:
+        """Dequeue the head entry and issue commit-time updates (§IV-B2)."""
+        head = self.history_file.head()
+        if head is None or head.ftq_id != ftq_id:
+            raise InterfaceError(
+                f"commit_packet({ftq_id}) but history-file head is "
+                f"{head.ftq_id if head else None}"
+            )
+        entry = self.history_file.dequeue()
+        bundle = bundle_from_entry(entry)
+        for component in self.components:
+            meta = entry.metas.get(component.name, 0)
+            component.on_update(bundle.with_meta(meta))
+        self.stats.committed_packets += 1
+        self.stats.committed_branches += sum(entry.br_mask)
+        if entry.cfi_is_jal or entry.cfi_is_jalr:
+            self.stats.committed_jumps += 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def storage_reports(self) -> Dict[str, StorageReport]:
+        """Per-structure storage, components plus management ("Meta")."""
+        reports: Dict[str, StorageReport] = {}
+        total_meta_bits = 0
+        for component in self.components:
+            reports[component.name] = component.storage()
+            total_meta_bits += component.meta_bits
+        meta = self.history_file.storage(
+            total_meta_bits,
+            self.config.global_history_bits,
+            self.config.local_history_bits if self._uses_local else 0,
+        )
+        meta = meta.merged(self._global.storage(), "meta")
+        if self._local is not None:
+            meta = meta.merged(self._local.storage(), "meta")
+        if self._path is not None:
+            meta = meta.merged(self._path.storage(), "meta")
+        reports["meta"] = meta
+        return reports
+
+    def direction_storage_kib(self) -> float:
+        """Direction-prediction storage: Table I's "Storage" column.
+
+        Counts counter/tag/weight state of direction-predicting
+        sub-components plus the history providers; excludes BTB/uBTB target
+        arrays and the history file (the paper accounts those separately).
+        """
+        bits = 0
+        for component in self.components:
+            if component.provides_targets:
+                continue
+            bits += component.storage().total_bits
+        bits += self._global.storage().total_bits
+        if self._local is not None:
+            bits += self._local.storage().total_bits
+        if self._path is not None:
+            bits += self._path.storage().total_bits
+        return bits / 8 / 1024
+
+    def total_storage_kib(self, include_meta: bool = True) -> float:
+        reports = self.storage_reports()
+        total = 0
+        for name, report in reports.items():
+            if name == "meta" and not include_meta:
+                continue
+            total += report.total_bits
+        return total / 8 / 1024
+
+    @property
+    def repair_stats(self):
+        return self._repair.stats
+
+    def reset(self) -> None:
+        for component in self.components:
+            component.reset()
+        self._global.reset()
+        if self._local is not None:
+            self._local.reset()
+        if self._path is not None:
+            self._path.reset()
+        self.history_file.reset()
+        self._repair.reset()
+        self.stats = ComposerStats()
+        self._stale_queries_remaining = 0
+        self._stale_ghist = 0
+
+
+def compose(
+    topology: Union[str, TopologyNode],
+    library: Optional[ComponentLibrary] = None,
+    config: Optional[ComposerConfig] = None,
+) -> ComposedPredictor:
+    """Build a complete predictor pipeline from a topology (Fig. 5).
+
+    ``topology`` may be a topology string in the paper's notation
+    (``"LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1"``) or an explicitly constructed
+    :class:`~repro.core.topology.TopologyNode`.
+    """
+    if isinstance(topology, str):
+        if library is None:
+            from repro.components.library import standard_library
+
+            library = standard_library(
+                fetch_width=(config.fetch_width if config else 4)
+            )
+        topology = parse_topology(topology, library)
+    return ComposedPredictor(topology, config)

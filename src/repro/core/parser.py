@@ -1,0 +1,191 @@
+"""Parser for the paper's topology notation (§IV-A).
+
+Turns strings such as::
+
+    LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1
+    TOURNEY3 > [GBIM2 > BTB2, LBIM2]
+    LOOP3 > TOURNEY3 > [GBIM2, LBIM2]
+
+into :class:`~repro.core.topology.TopologyNode` trees, instantiating
+sub-components from a :class:`ComponentLibrary`.  A name's trailing digits
+give the component's prediction latency (``TAGE3`` = a TAGE responding at
+cycle 3).  ``>`` is right-associative; brackets introduce arbitration
+children; parentheses group.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.core.interface import InterfaceError, PredictorComponent
+from repro.core.topology import Arbitrate, Leaf, Override, TopologyNode
+
+#: A factory builds a component instance given (instance_name, latency).
+ComponentFactory = Callable[[str, int], PredictorComponent]
+
+
+class TopologyParseError(Exception):
+    """Raised for malformed topology strings."""
+
+
+class ComponentLibrary:
+    """A registry mapping base names (``TAGE``, ``BIM``…) to factories.
+
+    The library is the "library of sub-components" the composer draws from
+    (Fig. 1).  Factories may be registered with default parameters and
+    overridden per design via :meth:`with_params`.
+    """
+
+    def __init__(self):
+        self._factories: Dict[str, ComponentFactory] = {}
+
+    def register(self, base_name: str, factory: ComponentFactory) -> None:
+        key = base_name.upper()
+        if key in self._factories:
+            raise ValueError(f"component base name {key!r} already registered")
+        self._factories[key] = factory
+
+    def with_params(self, base_name: str, factory: ComponentFactory) -> "ComponentLibrary":
+        """A copy of this library with one factory replaced or added."""
+        clone = ComponentLibrary()
+        clone._factories = dict(self._factories)
+        clone._factories[base_name.upper()] = factory
+        return clone
+
+    def known(self) -> List[str]:
+        return sorted(self._factories)
+
+    def instantiate(self, base_name: str, instance_name: str, latency: int):
+        key = base_name.upper()
+        if key not in self._factories:
+            raise TopologyParseError(
+                f"unknown component {key!r}; library provides {self.known()}"
+            )
+        component = self._factories[key](instance_name, latency)
+        if component.latency != latency:
+            raise InterfaceError(
+                f"{key} factory ignored the requested latency {latency} "
+                f"(built {component.latency})"
+            )
+        return component
+
+
+class _Token(NamedTuple):
+    kind: str  # NAME | GT | LBRACKET | RBRACKET | COMMA | LPAREN | RPAREN
+    text: str
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<NAME>[A-Za-z_][A-Za-z_]*\d+)|(?P<GT>>)|(?P<LBRACKET>\[)"
+    r"|(?P<RBRACKET>\])|(?P<COMMA>,)|(?P<LPAREN>\()|(?P<RPAREN>\)))"
+)
+
+_NAME_RE = re.compile(r"(?P<base>[A-Za-z_][A-Za-z_]*?)(?P<latency>\d+)$")
+
+
+def _tokenize(spec: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    while pos < len(spec):
+        match = _TOKEN_RE.match(spec, pos)
+        if match is None:
+            remainder = spec[pos:].strip()
+            if not remainder:
+                break
+            raise TopologyParseError(
+                f"unexpected input at {pos}: {remainder[:20]!r} "
+                f"(component names need a trailing latency digit, e.g. TAGE3)"
+            )
+        for kind in ("NAME", "GT", "LBRACKET", "RBRACKET", "COMMA", "LPAREN", "RPAREN"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(_Token(kind, text))
+                break
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], library: ComponentLibrary):
+        self._tokens = tokens
+        self._pos = 0
+        self._library = library
+        self._name_counts: Dict[str, int] = {}
+
+    def peek(self) -> Optional[_Token]:
+        return self._tokens[self._pos] if self._pos < len(self._tokens) else None
+
+    def take(self, kind: str) -> _Token:
+        token = self.peek()
+        if token is None or token.kind != kind:
+            found = token.kind if token else "end of input"
+            raise TopologyParseError(f"expected {kind}, found {found}")
+        self._pos += 1
+        return token
+
+    def _make_component(self, text: str) -> PredictorComponent:
+        match = _NAME_RE.match(text)
+        if match is None:
+            raise TopologyParseError(
+                f"component name {text!r} must end with its latency, e.g. BIM2"
+            )
+        base = match.group("base")
+        latency = int(match.group("latency"))
+        count = self._name_counts.get(base.upper(), 0)
+        self._name_counts[base.upper()] = count + 1
+        instance = base.lower() if count == 0 else f"{base.lower()}{count + 1}"
+        return self._library.instantiate(base, instance, latency)
+
+    def parse_chain(self) -> TopologyNode:
+        """chain := unit ('>' (bracket_list | chain))?"""
+        token = self.peek()
+        if token is None:
+            raise TopologyParseError("empty topology")
+        if token.kind == "LPAREN":
+            self.take("LPAREN")
+            node = self.parse_chain()
+            self.take("RPAREN")
+            if self.peek() is not None and self.peek().kind == "GT":
+                raise TopologyParseError(
+                    "a parenthesized group cannot override (only named "
+                    "components may appear left of '>')"
+                )
+            return node
+
+        name = self.take("NAME")
+        component = self._make_component(name.text)
+
+        nxt = self.peek()
+        if nxt is None or nxt.kind in ("RPAREN", "RBRACKET", "COMMA"):
+            return Leaf(component)
+
+        self.take("GT")
+        after = self.peek()
+        if after is not None and after.kind == "LBRACKET":
+            children = self.parse_bracket_list()
+            return Arbitrate(component, children)
+        return Override(component, self.parse_chain())
+
+    def parse_bracket_list(self) -> List[TopologyNode]:
+        self.take("LBRACKET")
+        children = [self.parse_chain()]
+        while self.peek() is not None and self.peek().kind == "COMMA":
+            self.take("COMMA")
+            children.append(self.parse_chain())
+        self.take("RBRACKET")
+        return children
+
+    def finished(self) -> bool:
+        return self._pos == len(self._tokens)
+
+
+def parse_topology(spec: str, library: ComponentLibrary) -> TopologyNode:
+    """Parse a topology string, instantiating components from ``library``."""
+    parser = _Parser(_tokenize(spec), library)
+    root = parser.parse_chain()
+    if not parser.finished():
+        raise TopologyParseError(
+            f"trailing input after topology: {spec!r}"
+        )
+    return root

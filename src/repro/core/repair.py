@@ -1,0 +1,100 @@
+"""The predict/update/repair state machine (§IV-B2).
+
+Sits alongside the history file.  In steady state it generates commit-time
+``update`` events as entries dequeue.  After a mispredict it walks the
+squashed tail of the history file generating ``repair`` events that restore
+the state of local-history and loop predictors.
+
+The paper performs a *forwards* walk in hardware (oldest squashed entry
+first, as in [Soundararajan et al. 2019]); restoring from per-entry
+snapshots, the correct final state for any structure index is the snapshot
+of the *oldest* squashed entry that touched it.  We therefore walk youngest
+first so the oldest snapshot lands last — the cycle cost accounted is
+identical, and the resulting state matches what the hardware walk
+reconstructs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence
+
+from repro.core.events import UpdateBundle
+from repro.core.history import LocalHistoryProvider
+from repro.core.history_file import HistoryFileEntry
+from repro.core.interface import PredictorComponent
+
+
+@dataclass
+class RepairStats:
+    """Bookkeeping for repair-walk activity."""
+
+    walks: int = 0
+    entries_repaired: int = 0
+    walk_cycles: int = 0
+
+
+class RepairStateMachine:
+    """Generates repair events and accounts for walk latency."""
+
+    def __init__(
+        self,
+        components: Sequence[PredictorComponent],
+        local_history: LocalHistoryProvider,
+        walk_width: int = 2,
+    ):
+        if walk_width < 1:
+            raise ValueError("repair walk width must be >= 1")
+        self._components = components
+        self._local_history = local_history
+        self.walk_width = walk_width
+        self.stats = RepairStats()
+
+    def repair(self, squashed: List[HistoryFileEntry]) -> int:
+        """Repair state for squashed entries; return the walk's cycle cost.
+
+        ``squashed`` arrives oldest-first (as produced by
+        ``HistoryFile.squash_after``); the walk processes youngest-first so
+        the oldest snapshots win (see module docstring).
+        """
+        if not squashed:
+            return 0
+        for entry in reversed(squashed):
+            self._local_history.restore(entry.lhist_index, entry.lhist_snapshot)
+            bundle = bundle_from_entry(entry)
+            for component in self._components:
+                meta = entry.metas.get(component.name, 0)
+                component.on_repair(bundle.with_meta(meta))
+        cycles = math.ceil(len(squashed) / self.walk_width)
+        self.stats.walks += 1
+        self.stats.entries_repaired += len(squashed)
+        self.stats.walk_cycles += cycles
+        return cycles
+
+    def reset(self) -> None:
+        self.stats = RepairStats()
+
+
+def bundle_from_entry(
+    entry: HistoryFileEntry, mispredicted: bool = False
+) -> UpdateBundle:
+    """Build the common event payload from a history-file entry (§III-E)."""
+    return UpdateBundle(
+        fetch_pc=entry.fetch_pc,
+        width=entry.width,
+        ghist=entry.req_ghist,
+        lhist=entry.lhist_snapshot,
+        phist=entry.phist_snapshot,
+        meta=0,
+        br_mask=entry.br_mask,
+        taken_mask=entry.taken_mask,
+        cfi_idx=entry.cfi_idx,
+        cfi_taken=entry.cfi_taken,
+        cfi_target=entry.cfi_target,
+        cfi_is_br=entry.cfi_is_br,
+        cfi_is_jal=entry.cfi_is_jal,
+        cfi_is_jalr=entry.cfi_is_jalr,
+        mispredicted=mispredicted or entry.mispredicted,
+        mispredict_idx=entry.mispredict_idx,
+    )

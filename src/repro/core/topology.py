@@ -1,0 +1,235 @@
+"""Topological models of predictor compositions (§IV-A).
+
+A complete predictor pipeline is represented as an ordering of sub-components
+where the ordering specifies which sub-component provides the final
+prediction.  ``p_b > p_a`` means ``p_b`` wins any cycle where the final
+prediction is ambiguous.  Arbitration schemes that *learn* to choose among
+sub-predictors are expressed with bracketed child lists::
+
+    TOURNEY3 > [GBIM2, LBIM2]
+
+Three node kinds model this:
+
+- :class:`Leaf` — a single sub-component.
+- :class:`Override` — ``hi > lo``: ``hi`` receives ``lo``'s prediction as
+  ``predict_in`` (when available at ``hi``'s response stage) and the
+  composer muxes ``hi`` over ``lo`` on a per-slot hit basis.
+- :class:`Arbitrate` — a selector receiving multiple ``predict_in`` vectors.
+
+``evaluate`` returns the *staged* predictions of the sub-topology: the final
+prediction the subset with latency ``<= d`` would emit at every stage ``d``.
+This is the semantic core of the COBRA composer.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.events import PredictRequest
+from repro.core.interface import InterfaceError, PredictorComponent
+from repro.core.prediction import PredictionVector
+
+#: Staged result: entry ``d - 1`` is the sub-topology's prediction at stage
+#: ``d``, or None when no component with latency ``<= d`` exists in it.
+StagedVectors = List[Optional[PredictionVector]]
+
+
+def merge_by_hit(
+    winner: PredictionVector, fallback: PredictionVector
+) -> PredictionVector:
+    """Per-slot mux: take the winner's slot where it hit, else the fallback's.
+
+    This is the control-flow-redirection multiplexing the composer generates
+    between ordered sub-components (§IV-B): the higher-priority prediction
+    provides the final prediction in any cycle where it exists.
+    """
+    slots = [
+        (w if w.hit else f).copy()
+        for w, f in zip(winner.slots, fallback.slots)
+    ]
+    return PredictionVector(winner.fetch_pc, slots)
+
+
+class TopologyNode(abc.ABC):
+    """A node in the topological representation of a predictor design."""
+
+    @abc.abstractmethod
+    def components(self) -> Iterator[PredictorComponent]:
+        """All sub-components in this sub-topology, in evaluation order."""
+
+    @abc.abstractmethod
+    def evaluate(
+        self, req: PredictRequest, depth: int, metas: Dict[str, int]
+    ) -> StagedVectors:
+        """Compute staged predictions, recording each component's metadata."""
+
+    @property
+    def max_latency(self) -> int:
+        return max(c.latency for c in self.components())
+
+    def describe(self) -> str:
+        """Render the topology back into the paper's notation."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _first_available(
+    staged: StagedVectors, stage: int, req: PredictRequest
+) -> PredictionVector:
+    """The sub-topology's prediction at ``stage``, or the fall-through default.
+
+    A component may use any ``predict_in(d)`` with ``d <= n`` (§III-F); we
+    provide the most recent one available at its response stage.
+    """
+    for d in range(stage, 0, -1):
+        vector = staged[d - 1]
+        if vector is not None:
+            return vector
+    return PredictionVector.fallthrough(req.fetch_pc, req.width)
+
+
+class Leaf(TopologyNode):
+    """A single sub-component with no inputs from other sub-components."""
+
+    def __init__(self, component: PredictorComponent):
+        if component.n_inputs != 1:
+            raise InterfaceError(
+                f"{component.name}: arbitration components (n_inputs="
+                f"{component.n_inputs}) cannot be topology leaves"
+            )
+        self.component = component
+
+    def components(self) -> Iterator[PredictorComponent]:
+        yield self.component
+
+    def evaluate(self, req, depth, metas):
+        default = PredictionVector.fallthrough(req.fetch_pc, req.width)
+        out, meta = self.component.lookup(req, [default])
+        metas[self.component.name] = self.component.check_meta(meta)
+        staged: StagedVectors = [None] * depth
+        for d in range(self.component.latency, depth + 1):
+            staged[d - 1] = out
+        return staged
+
+    def describe(self) -> str:
+        return f"{self.component.name.upper()}{self.component.latency}"
+
+
+class Override(TopologyNode):
+    """``hi > lo``: ``hi`` provides the final prediction where it hits."""
+
+    def __init__(self, hi: PredictorComponent, lo: TopologyNode):
+        if hi.n_inputs != 1:
+            raise InterfaceError(
+                f"{hi.name}: a component taking {hi.n_inputs} predict_in "
+                f"inputs must head an Arbitrate node, not an Override"
+            )
+        self.hi = hi
+        self.lo = lo
+
+    def components(self) -> Iterator[PredictorComponent]:
+        yield from self.lo.components()
+        yield self.hi
+
+    def evaluate(self, req, depth, metas):
+        staged = self.lo.evaluate(req, depth, metas)
+        predict_in = _first_available(staged, self.hi.latency, req)
+        out, meta = self.hi.lookup(req, [predict_in])
+        metas[self.hi.name] = self.hi.check_meta(meta)
+        result: StagedVectors = list(staged)
+        for d in range(self.hi.latency, depth + 1):
+            below = staged[d - 1]
+            if below is None:
+                result[d - 1] = out
+            else:
+                # hi wins per slot where it (or anything it passed through
+                # from its own predict_in) hit; otherwise the slower
+                # sub-topology's more recent prediction stands.
+                result[d - 1] = merge_by_hit(out, below)
+        return result
+
+    def describe(self) -> str:
+        hi = f"{self.hi.name.upper()}{self.hi.latency}"
+        lo = self.lo.describe()
+        if isinstance(self.lo, Arbitrate):
+            return f"{hi} > {lo}"
+        return f"{hi} > {lo}"
+
+
+class Arbitrate(TopologyNode):
+    """A selector choosing among two or more sub-topologies (§IV-A1).
+
+    Before the selector responds, the first-listed child provides the
+    provisional final prediction; this tie-break is a composer convention
+    (the paper leaves the pre-arbitration prediction unspecified).
+    """
+
+    def __init__(self, selector: PredictorComponent, children: List[TopologyNode]):
+        if len(children) < 2:
+            raise InterfaceError(
+                f"{selector.name}: arbitration requires >= 2 children, "
+                f"got {len(children)}"
+            )
+        if selector.n_inputs != len(children):
+            raise InterfaceError(
+                f"{selector.name}: selector takes {selector.n_inputs} "
+                f"predict_in inputs but the topology supplies {len(children)}"
+            )
+        self.selector = selector
+        self.children = children
+
+    def components(self) -> Iterator[PredictorComponent]:
+        for child in self.children:
+            yield from child.components()
+        yield self.selector
+
+    def evaluate(self, req, depth, metas):
+        child_staged = [child.evaluate(req, depth, metas) for child in self.children]
+        predict_ins = [
+            _first_available(staged, self.selector.latency, req)
+            for staged in child_staged
+        ]
+        out, meta = self.selector.lookup(req, predict_ins)
+        metas[self.selector.name] = self.selector.check_meta(meta)
+        result: StagedVectors = list(child_staged[0])
+        for d in range(self.selector.latency, depth + 1):
+            result[d - 1] = out
+        return result
+
+    def describe(self) -> str:
+        sel = f"{self.selector.name.upper()}{self.selector.latency}"
+        inner = ", ".join(
+            f"({c.describe()})" if isinstance(c, (Override, Arbitrate)) else c.describe()
+            for c in self.children
+        )
+        return f"{sel} > [{inner}]"
+
+
+def validate_topology(root: TopologyNode) -> Tuple[PredictorComponent, ...]:
+    """Check a topology for contract violations; return its components.
+
+    Enforces unique component names and the Fig. 2 history-timing rule
+    (already enforced per-component, but re-checked here so hand-built
+    component objects cannot slip through).
+    """
+    seen: Dict[str, PredictorComponent] = {}
+    for component in root.components():
+        if component.name in seen and seen[component.name] is not component:
+            raise InterfaceError(
+                f"duplicate component name {component.name!r} in topology"
+            )
+        if component.name in seen:
+            raise InterfaceError(
+                f"component {component.name!r} appears twice in the topology"
+            )
+        if component.latency < 2 and (
+            component.uses_global_history or component.uses_local_history
+        ):
+            raise InterfaceError(
+                f"{component.name}: latency-1 components cannot use histories"
+            )
+        seen[component.name] = component
+    return tuple(seen.values())

@@ -1,0 +1,103 @@
+"""Pipeline diagrams for composed predictors (Figs. 2, 4, 7 as text).
+
+``render_pipeline`` draws which sub-components respond at each fetch stage
+and which one provides the final prediction per stage — the information the
+paper conveys with its pipeline diagrams.  ``render_timing`` draws the
+Fig. 2 query/history/response timing for one component.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.composer import ComposedPredictor
+from repro.core.topology import Arbitrate, Leaf, Override, TopologyNode
+
+
+def _final_provider_per_stage(node: TopologyNode, depth: int) -> List[str]:
+    """Which node's output is the final prediction at each stage.
+
+    Mirrors the composer's merge rules: for Override, the hi component wins
+    from its latency onward (per-slot muxing collapses to "hi where it
+    hits"); for Arbitrate, the selector wins from its latency, the first
+    child before that.
+    """
+    if isinstance(node, Leaf):
+        return [
+            node.component.name if node.component.latency <= d else "-"
+            for d in range(1, depth + 1)
+        ]
+    if isinstance(node, Override):
+        below = _final_provider_per_stage(node.lo, depth)
+        return [
+            f"{node.hi.name}/{below[d - 1]}" if node.hi.latency <= d else below[d - 1]
+            for d in range(1, depth + 1)
+        ]
+    assert isinstance(node, Arbitrate)
+    first = _final_provider_per_stage(node.children[0], depth)
+    return [
+        node.selector.name if node.selector.latency <= d else first[d - 1]
+        for d in range(1, depth + 1)
+    ]
+
+
+def render_pipeline(predictor: ComposedPredictor) -> str:
+    """Fig. 7-style stage diagram of a composed predictor."""
+    depth = predictor.depth
+    lines = [f"topology: {predictor.describe()}", ""]
+    header = "component     " + "".join(f"  F{d:<8d}" for d in range(1, depth + 1))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for component in predictor.components:
+        cells = []
+        for d in range(1, depth + 1):
+            if d < component.latency:
+                uses = []
+                if d == 1 and (
+                    component.uses_global_history
+                    or component.uses_local_history
+                    or getattr(component, "uses_path_history", False)
+                ):
+                    uses.append("hist-in")
+                cells.append(",".join(uses) if uses else "...")
+            elif d == component.latency:
+                cells.append("respond")
+            else:
+                cells.append("(held)")
+        lines.append(
+            f"{component.name:14s}" + "".join(f"  {c:<8s}" for c in cells)
+        )
+    providers = _final_provider_per_stage(predictor.topology, depth)
+    lines.append("-" * len(header))
+    lines.append(
+        "final:        " + "".join(f"  {p[:8]:<8s}" for p in providers)
+    )
+    return "\n".join(lines)
+
+
+def render_timing(latency: int, depth: int = None) -> str:
+    """Fig. 2-style timing for a component of the given latency."""
+    if latency < 1:
+        raise ValueError("latency must be >= 1")
+    depth = depth or max(latency, 3)
+    cells = []
+    for d in range(depth + 1):
+        if d == 0:
+            cells.append("query")
+        elif d == latency:
+            cells.append("hist+pred" if d == 1 and latency >= 2 else "pred")
+        elif d == 1 and latency >= 2:
+            cells.append("hist")
+        elif d < latency:
+            cells.append("...")
+        else:
+            cells.append("held")
+    header = "".join(f"{('F' + str(d)):>10s}" for d in range(depth + 1))
+    body = "".join(f"{c:>10s}" for c in cells)
+    return (
+        header
+        + "\n"
+        + body
+        + f"\n(query at Fetch-0; histories at end of Fetch-1; first response "
+        f"at Fetch-{latency}; later stages hold or strengthen it)"
+    )

@@ -1,0 +1,45 @@
+"""Evaluation harness: run workloads on cores, collect MPKI/IPC (§V-B).
+
+This plays the role of the paper's FireSim simulations plus the Linux
+``perf`` measurements: :func:`run_workload` attaches a composed predictor to
+the host-core model, runs a workload to completion, and returns the metrics
+Fig. 10 reports.  :class:`TraceSimulator` additionally provides the
+trace-driven software-simulator methodology the paper argues *against*
+(§II-B), so the modelling gap is itself measurable.
+"""
+
+from repro.eval.metrics import RunResult, harmonic_mean
+from repro.eval.runner import run_workload, run_suite
+from repro.eval.tracesim import TraceSimulator, trace_accuracy
+from repro.eval.comparison import EvaluatedSystem, evaluated_systems
+from repro.eval.artifacts import Regression, compare_results, load_results, save_results
+from repro.eval.profiler import SiteReport, coverage, format_profile, top_offenders
+from repro.eval.sweep import (
+    DesignPoint,
+    evaluate_designs,
+    format_points,
+    pareto_frontier,
+)
+
+__all__ = [
+    "RunResult",
+    "harmonic_mean",
+    "run_workload",
+    "run_suite",
+    "TraceSimulator",
+    "trace_accuracy",
+    "EvaluatedSystem",
+    "evaluated_systems",
+    "Regression",
+    "compare_results",
+    "load_results",
+    "save_results",
+    "SiteReport",
+    "coverage",
+    "format_profile",
+    "top_offenders",
+    "DesignPoint",
+    "evaluate_designs",
+    "format_points",
+    "pareto_frontier",
+]

@@ -1,0 +1,104 @@
+"""Experiment artifacts: persist, reload, and compare run results.
+
+Reproduction workflows need durable records: every benchmark run writes its
+rows as text, and this module adds JSON round-tripping of
+:class:`~repro.eval.metrics.RunResult` matrices plus a regression
+comparator so two sweeps (e.g. before/after a predictor change) can be
+diffed mechanically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+from repro.eval.metrics import RunResult
+
+_FIELDS = (
+    "cycles",
+    "instructions",
+    "ipc",
+    "mpki",
+    "total_mpki",
+    "branch_accuracy",
+    "branches",
+    "branch_mispredicts",
+    "target_mispredicts",
+    "flushes",
+)
+
+
+def save_results(
+    results: Mapping[str, Mapping[str, RunResult]],
+    path: Union[str, Path],
+) -> None:
+    """Persist a results[system][workload] matrix to JSON."""
+    payload = {
+        system: {
+            workload: {field: getattr(r, field) for field in _FIELDS}
+            for workload, r in rows.items()
+        }
+        for system, rows in results.items()
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True))
+
+
+def load_results(path: Union[str, Path]) -> Dict[str, Dict[str, RunResult]]:
+    """Reload a saved matrix; ``stats`` is not round-tripped."""
+    payload = json.loads(Path(path).read_text())
+    out: Dict[str, Dict[str, RunResult]] = {}
+    for system, rows in payload.items():
+        out[system] = {}
+        for workload, fields in rows.items():
+            out[system][workload] = RunResult(
+                system=system, workload=workload, stats=None, **fields
+            )
+    return out
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that moved beyond tolerance between two runs."""
+
+    system: str
+    workload: str
+    metric: str
+    before: float
+    after: float
+
+    @property
+    def relative_change(self) -> float:
+        if self.before == 0:
+            return float("inf") if self.after else 0.0
+        return (self.after - self.before) / self.before
+
+
+def compare_results(
+    before: Mapping[str, Mapping[str, RunResult]],
+    after: Mapping[str, Mapping[str, RunResult]],
+    ipc_tolerance: float = 0.03,
+    mpki_tolerance: float = 0.10,
+) -> List[Regression]:
+    """Metrics that degraded between two result matrices.
+
+    Reports IPC drops beyond ``ipc_tolerance`` (relative) and MPKI rises
+    beyond ``mpki_tolerance`` (relative), for every (system, workload) pair
+    present in both.
+    """
+    regressions: List[Regression] = []
+    for system, rows in before.items():
+        for workload, old in rows.items():
+            new = after.get(system, {}).get(workload)
+            if new is None:
+                continue
+            if old.ipc > 0 and new.ipc < old.ipc * (1 - ipc_tolerance):
+                regressions.append(
+                    Regression(system, workload, "ipc", old.ipc, new.ipc)
+                )
+            if new.mpki > old.mpki * (1 + mpki_tolerance) and new.mpki - old.mpki > 0.5:
+                regressions.append(
+                    Regression(system, workload, "mpki", old.mpki, new.mpki)
+                )
+    return regressions

@@ -1,0 +1,74 @@
+"""Result records and summary statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.frontend.core import CoreStats
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, as used for the Fig. 10 HARMEAN column.
+
+    Zero values are invalid for a harmonic mean; MPKI columns that can
+    legitimately reach zero should be summarized with
+    :func:`arithmetic_mean` instead.
+    """
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    values = list(values)
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+@dataclass
+class RunResult:
+    """Measurements from one (system, workload) run."""
+
+    system: str
+    workload: str
+    cycles: int
+    instructions: int
+    ipc: float
+    mpki: float
+    total_mpki: float
+    branch_accuracy: float
+    branches: int
+    branch_mispredicts: int
+    target_mispredicts: int
+    flushes: int
+    stats: Optional[CoreStats] = None
+
+    @classmethod
+    def from_stats(cls, system: str, workload: str, stats: CoreStats) -> "RunResult":
+        return cls(
+            system=system,
+            workload=workload,
+            cycles=stats.cycles,
+            instructions=stats.committed_instructions,
+            ipc=stats.ipc,
+            mpki=stats.mpki,
+            total_mpki=stats.total_mpki,
+            branch_accuracy=stats.branch_accuracy,
+            branches=stats.committed_branches,
+            branch_mispredicts=stats.branch_mispredicts,
+            target_mispredicts=stats.target_mispredicts,
+            flushes=stats.flushes,
+            stats=stats,
+        )
+
+    def row(self) -> str:
+        return (
+            f"{self.system:16s} {self.workload:12s} "
+            f"IPC={self.ipc:5.2f}  MPKI={self.mpki:6.2f}  "
+            f"acc={self.branch_accuracy * 100:5.1f}%  cycles={self.cycles}"
+        )

@@ -1,0 +1,83 @@
+"""Per-branch-site profiling: where does a predictor lose its accuracy?
+
+The FireSim out-of-band profilers the paper uses produce exactly this kind
+of report: the static branch sites responsible for most mispredictions,
+with their execution counts and local mispredict rates — the starting point
+of every predictor-tuning loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.frontend.core import CoreStats
+from repro.isa.program import Program
+
+
+@dataclass(frozen=True)
+class SiteReport:
+    """One static branch site's behaviour over a run."""
+
+    pc: int
+    executions: int
+    mispredicts: int
+    instruction: str
+
+    @property
+    def mispredict_rate(self) -> float:
+        return self.mispredicts / self.executions if self.executions else 0.0
+
+
+def top_offenders(
+    stats: CoreStats,
+    program: Optional[Program] = None,
+    limit: int = 10,
+) -> List[SiteReport]:
+    """Branch sites ranked by absolute mispredict count."""
+    reports = []
+    for pc, misses in stats.mispredicts_by_pc.items():
+        executions = stats.executions_by_pc.get(pc, misses)
+        text = ""
+        if program is not None:
+            instr = program.fetch(pc)
+            text = str(instr) if instr is not None else "?"
+        reports.append(SiteReport(pc, executions, misses, text))
+    reports.sort(key=lambda r: -r.mispredicts)
+    return reports[:limit]
+
+
+def coverage(stats: CoreStats, top_n: int = 5) -> float:
+    """Fraction of all mispredicts attributable to the worst ``top_n`` sites.
+
+    High coverage means the predictor's losses are concentrated (a targeted
+    fix — a loop predictor, an SFB conversion — can pay off); low coverage
+    means the losses are diffuse (capacity or fundamental randomness).
+    """
+    total = sum(stats.mispredicts_by_pc.values())
+    if total == 0:
+        return 0.0
+    worst = sorted(stats.mispredicts_by_pc.values(), reverse=True)[:top_n]
+    return sum(worst) / total
+
+
+def format_profile(
+    stats: CoreStats, program: Optional[Program] = None, limit: int = 10
+) -> str:
+    """Human-readable top-offenders table."""
+    rows = top_offenders(stats, program, limit)
+    if not rows:
+        return "(no mispredicts recorded)"
+    lines = [
+        f"{'pc':>8s} {'execs':>8s} {'misses':>8s} {'rate':>7s}  instruction",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.pc:8d} {row.executions:8d} {row.mispredicts:8d} "
+            f"{row.mispredict_rate * 100:6.1f}%  {row.instruction}"
+        )
+    lines.append(
+        f"top-{min(limit, len(rows))} coverage: "
+        f"{coverage(stats, limit) * 100:.1f}% of all mispredicts"
+    )
+    return "\n".join(lines)

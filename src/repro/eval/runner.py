@@ -1,0 +1,80 @@
+"""Run workloads on cores and collect results."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Mapping, Optional, Union
+
+from repro.core.composer import ComposedPredictor
+from repro.eval.metrics import RunResult
+from repro.frontend.config import CoreConfig
+from repro.frontend.core import Core
+from repro.isa.program import Program
+from repro import presets
+
+#: A "system" is a predictor plus (optionally) a core configuration; a bare
+#: predictor runs on the default Table-II core.
+SystemSpec = Union[str, ComposedPredictor, tuple]
+
+
+def _resolve_system(spec: SystemSpec):
+    """Normalize a system spec to (name, predictor_factory, core_config)."""
+    if isinstance(spec, str):
+        return spec, (lambda: presets.build(spec)), CoreConfig()
+    if isinstance(spec, ComposedPredictor):
+        raise TypeError(
+            "pass a predictor *factory* (callable) or preset name so each "
+            "run starts from power-on state"
+        )
+    name, factory, config = spec
+    return name, factory, config or CoreConfig()
+
+
+def run_workload(
+    predictor: Union[str, ComposedPredictor],
+    program: Program,
+    core_config: Optional[CoreConfig] = None,
+    max_instructions: Optional[int] = None,
+    max_cycles: Optional[int] = None,
+    system_name: Optional[str] = None,
+) -> RunResult:
+    """Run one workload to completion on one predictor.
+
+    ``predictor`` may be a preset name (a fresh instance is built) or an
+    already-constructed :class:`ComposedPredictor` (which is *not* reset:
+    callers own warm-up semantics).
+    """
+    if isinstance(predictor, str):
+        name = system_name or predictor
+        predictor = presets.build(predictor)
+    else:
+        name = system_name or predictor.describe()
+    core = Core(program, predictor, core_config or CoreConfig())
+    stats = core.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    return RunResult.from_stats(name, program.name, stats)
+
+
+def run_suite(
+    systems: Iterable[SystemSpec],
+    programs: Mapping[str, Program],
+    max_instructions: Optional[int] = None,
+    progress: Optional[Callable[[str, str], None]] = None,
+) -> Dict[str, Dict[str, RunResult]]:
+    """Run every (system, workload) pair; returns results[system][workload].
+
+    Each pair gets a freshly built predictor so runs are independent, as in
+    the paper's per-benchmark FPGA simulations.
+    """
+    results: Dict[str, Dict[str, RunResult]] = {}
+    for spec in systems:
+        name, factory, config = _resolve_system(spec)
+        results[name] = {}
+        for workload_name, program in programs.items():
+            if progress is not None:
+                progress(name, workload_name)
+            predictor = factory()
+            core = Core(program, predictor, config)
+            stats = core.run(max_instructions=max_instructions)
+            results[name][workload_name] = RunResult.from_stats(
+                name, workload_name, stats
+            )
+    return results

@@ -1,0 +1,116 @@
+"""Trace-driven software simulation of a composed predictor (§II-B).
+
+The paper's motivation is that trace-based simulators "cannot model
+microarchitectural behaviors like speculation and superscalar execution"
+and "demonstrate substantial modelling error".  This module implements that
+very methodology over the same predictor pipelines, so the modelling error
+is directly measurable in this repository: run the same workload through
+:class:`TraceSimulator` and through :class:`~repro.frontend.core.Core` and
+compare accuracies (see ``benchmarks/bench_trace_vs_core.py``).
+
+The trace simulator presents each architectural branch to the predictor in
+commit order, one fetch packet per control-flow transfer, with no wrong
+path, no speculative history corruption, and no update delay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.composer import ComposedPredictor, PreDecodedSlot
+from repro.core.prediction import packet_span
+from repro.isa.interpreter import Interpreter
+from repro.isa.program import Program
+
+
+@dataclass
+class TraceResult:
+    branches: int
+    mispredicts: int
+
+    @property
+    def accuracy(self) -> float:
+        return 1.0 - self.mispredicts / self.branches if self.branches else 1.0
+
+    @property
+    def mpki_per_branch(self) -> float:
+        return 1000.0 * self.mispredicts / self.branches if self.branches else 0.0
+
+
+class TraceSimulator:
+    """Feeds the architectural path straight through a composed predictor."""
+
+    def __init__(self, predictor: ComposedPredictor, program: Program):
+        self.predictor = predictor
+        self.program = program
+
+    def _predecode(self, pc: int) -> PreDecodedSlot:
+        instr = self.program.fetch(pc)
+        if instr is None:
+            return PreDecodedSlot(valid=False)
+        if instr.is_cond_branch:
+            return PreDecodedSlot(is_cond_branch=True, direct_target=instr.target)
+        if instr.is_jump:
+            if instr.is_indirect:
+                return PreDecodedSlot(is_jalr=True, is_ret=instr.is_ret)
+            return PreDecodedSlot(is_jal=True, is_call=instr.is_call)
+        return PreDecodedSlot()
+
+    def run(self, max_instructions: int = 1_000_000) -> TraceResult:
+        """Drive the predictor down the architectural path, packet by packet."""
+        width = self.predictor.config.fetch_width
+        branches = 0
+        mispredicts = 0
+        interp = Interpreter(self.program)
+        stream = interp.run(max_instructions)
+        record = next(stream, None)
+        while record is not None:
+            fetch_pc = record.pc
+            span = packet_span(fetch_pc, width)
+            slots = [self._predecode(fetch_pc + i) for i in range(span)]
+            result = self.predictor.predict(fetch_pc, slots, None)
+
+            # Walk the architectural records covered by this packet: they
+            # follow sequentially until a taken transfer or the packet ends.
+            mispredict_info = None
+            consumed = 0
+            while record is not None and record.pc == fetch_pc + consumed:
+                slot_idx = consumed
+                instr = record.instr
+                if instr.is_cond_branch:
+                    branches += 1
+                    predicted = result.final.slots[slot_idx].taken
+                    if predicted != record.taken:
+                        mispredicts += 1
+                        if mispredict_info is None:
+                            mispredict_info = (
+                                slot_idx,
+                                record.taken,
+                                record.next_pc if record.taken else None,
+                            )
+                consumed += 1
+                ends_packet = (
+                    record.next_pc != record.pc + 1
+                    or consumed >= span
+                    or (mispredict_info is not None and result.cut == slot_idx)
+                )
+                record = next(stream, None)
+                if ends_packet:
+                    break
+            if mispredict_info is not None:
+                slot_idx, taken, target = mispredict_info
+                self.predictor.resolve_mispredict(
+                    result.ftq_id, slot_idx, taken, target
+                )
+            self.predictor.commit_packet(result.ftq_id)
+        return TraceResult(branches, mispredicts)
+
+
+def trace_accuracy(
+    predictor: ComposedPredictor,
+    program: Program,
+    max_instructions: int = 1_000_000,
+) -> TraceResult:
+    """Convenience wrapper: trace-simulate ``program`` on ``predictor``."""
+    return TraceSimulator(predictor, program).run(max_instructions)

@@ -1,0 +1,28 @@
+"""The host core: a BOOM-like speculative superscalar machine model.
+
+The paper integrates COBRA-generated predictors into the BOOM out-of-order
+core and evaluates them with FPGA-accelerated simulation (§IV-C, §V).  This
+package is the substitute substrate: a cycle-level model of a 4-wide fetch
+unit with a staged prediction pipeline, redirect logic, pre-decode, RAS,
+fetch buffer, and a simplified out-of-order backend (dependency-driven
+completion times, in-order commit, branch resolution with flush/redirect).
+
+It captures the phenomena the paper's evaluation turns on — prediction
+latency bubbles, superscalar fetch cuts, wrong-path speculative history
+corruption and repair, commit-time updates — without modelling the full
+BOOM microarchitecture (see DESIGN.md for the substitution argument).
+"""
+
+from repro.frontend.config import CoreConfig, CacheConfig
+from repro.frontend.caches import DataCacheModel
+from repro.frontend.core import Core, CoreStats
+from repro.frontend.oracle import OracleStream
+
+__all__ = [
+    "CoreConfig",
+    "CacheConfig",
+    "DataCacheModel",
+    "Core",
+    "CoreStats",
+    "OracleStream",
+]

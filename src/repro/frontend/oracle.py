@@ -1,0 +1,54 @@
+"""The architectural oracle stream with rewind support.
+
+The interpreter defines the correct dynamic path.  The speculative core
+consumes oracle records at dispatch time; when a misprediction flushes
+younger instructions, their records must be re-issued, so the stream keeps
+a window of records from the oldest uncommitted index forward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.isa.interpreter import DynInstr, Interpreter
+from repro.isa.program import Program
+
+
+class OracleStream:
+    """Random-access window over the architectural instruction stream."""
+
+    def __init__(self, program: Program, max_instructions: int = 50_000_000):
+        self._interp = Interpreter(program)
+        self._gen = self._interp.run(max_instructions)
+        self._buffer: List[Optional[DynInstr]] = []
+        self._base = 0  # oracle index of _buffer[0]
+        self._exhausted = False
+
+    def get(self, index: int) -> Optional[DynInstr]:
+        """Record at oracle index ``index``, or None past the end."""
+        if index < self._base:
+            raise IndexError(
+                f"oracle index {index} already trimmed (base {self._base})"
+            )
+        while index - self._base >= len(self._buffer):
+            if self._exhausted:
+                return None
+            try:
+                self._buffer.append(next(self._gen))
+            except StopIteration:
+                self._exhausted = True
+                return None
+        return self._buffer[index - self._base]
+
+    def trim(self, index: int) -> None:
+        """Discard records below ``index`` (they are committed)."""
+        if index <= self._base:
+            return
+        drop = min(index - self._base, len(self._buffer))
+        del self._buffer[:drop]
+        self._base += drop
+
+    @property
+    def memory(self):
+        """Final architectural memory (valid once fully executed)."""
+        return self._interp.memory

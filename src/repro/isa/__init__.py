@@ -1,0 +1,32 @@
+"""A tiny RISC-style ISA used to drive the branch-predictor evaluation.
+
+The paper evaluates COBRA-generated predictors on RISC-V binaries running on
+the BOOM core.  This package provides the equivalent substrate for the Python
+reproduction: a minimal word-addressed RISC ISA, a program builder with
+labels, and a functional interpreter that produces the architecturally
+correct dynamic instruction stream (the "oracle" path that the speculative
+frontend model is checked against).
+"""
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    RA,
+    SP,
+    NUM_REGS,
+)
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.interpreter import DynInstr, Interpreter, run_program
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "RA",
+    "SP",
+    "NUM_REGS",
+    "Program",
+    "ProgramBuilder",
+    "DynInstr",
+    "Interpreter",
+    "run_program",
+]

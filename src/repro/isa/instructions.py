@@ -1,0 +1,144 @@
+"""Instruction definitions for the tiny RISC ISA.
+
+PCs are word addressed: instruction ``i`` of a program lives at PC ``i`` and
+sequential execution advances the PC by one.  This keeps fetch-packet
+arithmetic (alignment, fall-through PCs) trivial while preserving everything
+a branch predictor cares about.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+#: Number of architectural registers.  ``r0`` is hardwired to zero.
+NUM_REGS = 16
+
+#: Link register used by ``call`` / ``ret`` (RISC-V ``ra`` analogue).
+RA = 15
+
+#: Stack pointer register by convention.
+SP = 14
+
+
+class Opcode(enum.Enum):
+    """Operation codes for the tiny ISA."""
+
+    # Arithmetic / logic (register-register unless noted).
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"
+    MUL = "mul"
+    DIV = "div"
+    ADDI = "addi"  # rd = rs1 + imm
+    ANDI = "andi"  # rd = rs1 & imm
+    XORI = "xori"  # rd = rs1 ^ imm
+    LI = "li"      # rd = imm
+    # Memory.
+    LD = "ld"      # rd = mem[rs1 + imm]
+    ST = "st"      # mem[rs1 + imm] = rs2
+    # Conditional branches (rs1 compared against rs2, target absolute).
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    # Unconditional control flow.
+    JAL = "jal"    # rd = pc + 1; pc = target (rd may be None for plain jump)
+    JALR = "jalr"  # rd = pc + 1; pc = rs1 (indirect; rd may be None)
+    # Miscellaneous.
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Conditional branch opcodes.
+BRANCH_OPS = frozenset({Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE})
+
+#: Opcodes that redirect control flow unconditionally.
+JUMP_OPS = frozenset({Opcode.JAL, Opcode.JALR})
+
+#: Execution latency (cycles from issue to completion) per opcode.
+OP_LATENCY = {
+    Opcode.MUL: 3,
+    Opcode.DIV: 12,
+    Opcode.LD: 2,  # L1 hit latency; the cache model adds miss penalties.
+}
+DEFAULT_LATENCY = 1
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single static instruction.
+
+    ``target`` is the absolute PC of a direct branch or jump.  Indirect
+    jumps (``JALR``) read their target from ``rs1`` at execute time and
+    carry ``target=None``.
+    """
+
+    op: Opcode
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None
+
+    @property
+    def is_cond_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.op in JUMP_OPS
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.is_cond_branch or self.is_jump
+
+    @property
+    def is_call(self) -> bool:
+        """Jumps that write a link register are calls (feed the RAS)."""
+        return self.op is Opcode.JAL and self.rd == RA
+
+    @property
+    def is_ret(self) -> bool:
+        """Indirect jumps through the link register are returns."""
+        return self.op is Opcode.JALR and self.rs1 == RA and self.rd is None
+
+    @property
+    def is_indirect(self) -> bool:
+        return self.op is Opcode.JALR
+
+    @property
+    def latency(self) -> int:
+        return OP_LATENCY.get(self.op, DEFAULT_LATENCY)
+
+    def forward_distance(self, pc: int) -> Optional[int]:
+        """Distance to a *forward* direct target, or None.
+
+        Used by the short-forwards-branch (hammock) optimization in §VI-C:
+        a conditional branch whose target is a small number of instructions
+        ahead can be decoded into predicated micro-ops instead of being
+        predicted.
+        """
+        if not self.is_cond_branch or self.target is None:
+            return None
+        distance = self.target - pc
+        return distance if distance > 0 else None
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        fields = []
+        if self.rd is not None:
+            fields.append(f"r{self.rd}")
+        if self.rs1 is not None:
+            fields.append(f"r{self.rs1}")
+        if self.rs2 is not None:
+            fields.append(f"r{self.rs2}")
+        if self.imm:
+            fields.append(str(self.imm))
+        if self.target is not None:
+            fields.append(f"@{self.target}")
+        return f"{self.op.value} " + ", ".join(fields)

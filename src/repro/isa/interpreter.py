@@ -1,0 +1,175 @@
+"""Functional interpreter producing the architectural (oracle) path.
+
+The speculative core model in :mod:`repro.frontend` fetches down predicted
+paths; the interpreter defines what the *correct* path is, one dynamic
+instruction at a time.  It is also usable standalone for workload unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.isa.instructions import Instruction, Opcode, NUM_REGS
+from repro.isa.program import Program
+
+#: Word width for register arithmetic.
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+_SIGN_BIT = 1 << (WORD_BITS - 1)
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    return (value ^ _SIGN_BIT) - _SIGN_BIT
+
+
+@dataclass(frozen=True)
+class DynInstr:
+    """One dynamic (architecturally executed) instruction.
+
+    ``taken`` is meaningful only for conditional branches.  ``next_pc`` is
+    the architecturally correct successor PC.  ``mem_addr`` is the data
+    address touched by a load or store (None otherwise) so the cache model
+    can replay it.
+    """
+
+    seq: int
+    pc: int
+    instr: Instruction
+    next_pc: int
+    taken: bool
+    mem_addr: Optional[int]
+
+
+class InterpreterError(Exception):
+    """Raised on architecturally invalid execution (bad PC, missing target)."""
+
+
+class Interpreter:
+    """Executes a :class:`Program`, yielding :class:`DynInstr` records."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.regs = [0] * NUM_REGS
+        self.memory = dict(program.data)
+        self.pc = program.entry
+        self.halted = False
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    def read_reg(self, index: Optional[int]) -> int:
+        if index is None:
+            return 0
+        return 0 if index == 0 else self.regs[index]
+
+    def write_reg(self, index: Optional[int], value: int) -> None:
+        if index is not None and index != 0:
+            self.regs[index] = value & _WORD_MASK
+
+    # ------------------------------------------------------------------
+    def step(self) -> Optional[DynInstr]:
+        """Execute one instruction; return its record, or None when halted."""
+        if self.halted:
+            return None
+        instr = self.program.fetch(self.pc)
+        if instr is None:
+            raise InterpreterError(
+                f"{self.program.name}: PC {self.pc} outside program "
+                f"(len {len(self.program)})"
+            )
+
+        pc = self.pc
+        next_pc = pc + 1
+        taken = False
+        mem_addr: Optional[int] = None
+        op = instr.op
+        a = _to_signed(self.read_reg(instr.rs1))
+        b = _to_signed(self.read_reg(instr.rs2))
+
+        if op is Opcode.ADD:
+            self.write_reg(instr.rd, a + b)
+        elif op is Opcode.SUB:
+            self.write_reg(instr.rd, a - b)
+        elif op is Opcode.AND:
+            self.write_reg(instr.rd, a & b)
+        elif op is Opcode.OR:
+            self.write_reg(instr.rd, a | b)
+        elif op is Opcode.XOR:
+            self.write_reg(instr.rd, a ^ b)
+        elif op is Opcode.SHL:
+            self.write_reg(instr.rd, a << (b & 63))
+        elif op is Opcode.SHR:
+            self.write_reg(instr.rd, (a & _WORD_MASK) >> (b & 63))
+        elif op is Opcode.MUL:
+            self.write_reg(instr.rd, a * b)
+        elif op is Opcode.DIV:
+            self.write_reg(instr.rd, a // b if b else 0)
+        elif op is Opcode.ADDI:
+            self.write_reg(instr.rd, a + instr.imm)
+        elif op is Opcode.ANDI:
+            self.write_reg(instr.rd, a & instr.imm)
+        elif op is Opcode.XORI:
+            self.write_reg(instr.rd, a ^ instr.imm)
+        elif op is Opcode.LI:
+            self.write_reg(instr.rd, instr.imm)
+        elif op is Opcode.LD:
+            mem_addr = (a + instr.imm) & _WORD_MASK
+            self.write_reg(instr.rd, self.memory.get(mem_addr, 0))
+        elif op is Opcode.ST:
+            mem_addr = (a + instr.imm) & _WORD_MASK
+            self.memory[mem_addr] = self.read_reg(instr.rs2)
+        elif op is Opcode.BEQ:
+            taken = a == b
+        elif op is Opcode.BNE:
+            taken = a != b
+        elif op is Opcode.BLT:
+            taken = a < b
+        elif op is Opcode.BGE:
+            taken = a >= b
+        elif op is Opcode.JAL:
+            if instr.target is None:
+                raise InterpreterError("JAL with no target")
+            self.write_reg(instr.rd, pc + 1)
+            next_pc = instr.target
+        elif op is Opcode.JALR:
+            self.write_reg(instr.rd, pc + 1)
+            next_pc = self.read_reg(instr.rs1) & _WORD_MASK
+        elif op is Opcode.NOP:
+            pass
+        elif op is Opcode.HALT:
+            self.halted = True
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise InterpreterError(f"unimplemented opcode {op}")
+
+        if instr.is_cond_branch and taken:
+            if instr.target is None:
+                raise InterpreterError("conditional branch with no target")
+            next_pc = instr.target
+
+        record = DynInstr(
+            seq=self._seq,
+            pc=pc,
+            instr=instr,
+            next_pc=next_pc,
+            taken=taken,
+            mem_addr=mem_addr,
+        )
+        self._seq += 1
+        self.pc = next_pc
+        return record
+
+    def run(self, max_instructions: int = 10_000_000) -> Iterator[DynInstr]:
+        """Yield dynamic instructions until HALT or the instruction cap."""
+        for _ in range(max_instructions):
+            record = self.step()
+            if record is None:
+                return
+            yield record
+            if self.halted:
+                return
+
+
+def run_program(program: Program, max_instructions: int = 10_000_000):
+    """Convenience: fully execute ``program`` and return the dynamic trace."""
+    return list(Interpreter(program).run(max_instructions))

@@ -1,0 +1,244 @@
+"""Programs and a label-resolving program builder (a tiny assembler)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.isa.instructions import Instruction, Opcode, RA
+
+LabelOrPC = Union[str, int]
+
+
+@dataclass
+class Program:
+    """A static program: instruction memory plus initial data memory.
+
+    Instruction memory is word addressed starting at PC 0.  ``data`` holds
+    the initial contents of data memory (sparse).  ``name`` identifies the
+    workload in reports.
+    """
+
+    instructions: List[Instruction]
+    data: Dict[int, int] = field(default_factory=dict)
+    name: str = "program"
+    entry: int = 0
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def fetch(self, pc: int) -> Optional[Instruction]:
+        """Return the instruction at ``pc`` or None for out-of-range PCs.
+
+        Wrong-path fetches may run off the end of the program; the frontend
+        treats a None as a non-branch filler instruction.
+        """
+        if 0 <= pc < len(self.instructions):
+            return self.instructions[pc]
+        return None
+
+    def static_branch_count(self) -> int:
+        return sum(1 for i in self.instructions if i.is_control_flow)
+
+
+class ProgramBuilder:
+    """Assembler-style builder with forward-referencing labels.
+
+    Example::
+
+        b = ProgramBuilder("count")
+        b.li(1, 0)
+        b.label("loop")
+        b.addi(1, 1, 1)
+        b.li(2, 100)
+        b.blt(1, 2, "loop")
+        b.halt()
+        program = b.build()
+    """
+
+    def __init__(self, name: str = "program"):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[int] = []  # instruction indices with string targets
+        self._pending_targets: List[Optional[str]] = []
+        self._data: Dict[int, int] = {}
+        self._data_labels: List = []  # (addr, label): data words holding PCs
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        """PC of the next emitted instruction."""
+        return len(self._instructions)
+
+    def label(self, name: str) -> "ProgramBuilder":
+        if name in self._labels:
+            raise ValueError(f"duplicate label {name!r}")
+        self._labels[name] = self.pc
+        return self
+
+    def data_word(self, addr: int, value: int) -> "ProgramBuilder":
+        self._data[addr] = value
+        return self
+
+    def data_block(self, base: int, values) -> "ProgramBuilder":
+        for offset, value in enumerate(values):
+            self._data[base + offset] = int(value)
+        return self
+
+    def data_label(self, addr: int, label: str) -> "ProgramBuilder":
+        """Store the PC of ``label`` at data address ``addr`` (jump tables)."""
+        self._data_labels.append((addr, label))
+        return self
+
+    def _emit(self, instr: Instruction, label: Optional[str] = None) -> None:
+        self._instructions.append(instr)
+        self._pending_targets.append(label)
+
+    def _resolve(self, target: Optional[LabelOrPC]):
+        """Split a target into (pc_or_None, label_or_None)."""
+        if target is None:
+            return None, None
+        if isinstance(target, str):
+            return None, target
+        return int(target), None
+
+    # ------------------------------------------------------------------
+    # ALU
+    # ------------------------------------------------------------------
+    def add(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.ADD, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def sub(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.SUB, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def and_(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.AND, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def or_(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.OR, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def xor(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.XOR, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def shl(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.SHL, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def shr(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.SHR, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def mul(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.MUL, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def div(self, rd, rs1, rs2):
+        self._emit(Instruction(Opcode.DIV, rd=rd, rs1=rs1, rs2=rs2))
+        return self
+
+    def addi(self, rd, rs1, imm):
+        self._emit(Instruction(Opcode.ADDI, rd=rd, rs1=rs1, imm=imm))
+        return self
+
+    def andi(self, rd, rs1, imm):
+        self._emit(Instruction(Opcode.ANDI, rd=rd, rs1=rs1, imm=imm))
+        return self
+
+    def xori(self, rd, rs1, imm):
+        self._emit(Instruction(Opcode.XORI, rd=rd, rs1=rs1, imm=imm))
+        return self
+
+    def li(self, rd, imm):
+        self._emit(Instruction(Opcode.LI, rd=rd, imm=imm))
+        return self
+
+    def nop(self):
+        self._emit(Instruction(Opcode.NOP))
+        return self
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def ld(self, rd, rs1, imm=0):
+        self._emit(Instruction(Opcode.LD, rd=rd, rs1=rs1, imm=imm))
+        return self
+
+    def st(self, rs2, rs1, imm=0):
+        self._emit(Instruction(Opcode.ST, rs1=rs1, rs2=rs2, imm=imm))
+        return self
+
+    # ------------------------------------------------------------------
+    # Control flow
+    # ------------------------------------------------------------------
+    def _branch(self, op: Opcode, rs1, rs2, target: LabelOrPC):
+        pc, label = self._resolve(target)
+        self._emit(Instruction(op, rs1=rs1, rs2=rs2, target=pc), label)
+        return self
+
+    def beq(self, rs1, rs2, target: LabelOrPC):
+        return self._branch(Opcode.BEQ, rs1, rs2, target)
+
+    def bne(self, rs1, rs2, target: LabelOrPC):
+        return self._branch(Opcode.BNE, rs1, rs2, target)
+
+    def blt(self, rs1, rs2, target: LabelOrPC):
+        return self._branch(Opcode.BLT, rs1, rs2, target)
+
+    def bge(self, rs1, rs2, target: LabelOrPC):
+        return self._branch(Opcode.BGE, rs1, rs2, target)
+
+    def jump(self, target: LabelOrPC):
+        pc, label = self._resolve(target)
+        self._emit(Instruction(Opcode.JAL, target=pc), label)
+        return self
+
+    def call(self, target: LabelOrPC):
+        pc, label = self._resolve(target)
+        self._emit(Instruction(Opcode.JAL, rd=RA, target=pc), label)
+        return self
+
+    def jalr(self, rs1, rd=None):
+        self._emit(Instruction(Opcode.JALR, rd=rd, rs1=rs1))
+        return self
+
+    def ret(self):
+        self._emit(Instruction(Opcode.JALR, rs1=RA))
+        return self
+
+    def halt(self):
+        self._emit(Instruction(Opcode.HALT))
+        return self
+
+    # ------------------------------------------------------------------
+    # Build
+    # ------------------------------------------------------------------
+    def build(self) -> Program:
+        instructions: List[Instruction] = []
+        for index, instr in enumerate(self._instructions):
+            label = self._pending_targets[index]
+            if label is not None:
+                if label not in self._labels:
+                    raise ValueError(f"undefined label {label!r}")
+                instr = Instruction(
+                    instr.op,
+                    rd=instr.rd,
+                    rs1=instr.rs1,
+                    rs2=instr.rs2,
+                    imm=instr.imm,
+                    target=self._labels[label],
+                )
+            instructions.append(instr)
+        data = dict(self._data)
+        for addr, label in self._data_labels:
+            if label not in self._labels:
+                raise ValueError(f"undefined label {label!r} in data word")
+            data[addr] = self._labels[label]
+        return Program(instructions, data, name=self.name)

@@ -1,0 +1,15 @@
+"""Structural RTL skeleton generation.
+
+The original COBRA composer elaborates Chisel into synthesizable RTL; this
+reproduction's composer elaborates a cycle-level Python model.  To keep the
+path back to hardware visible, this package generates a *structural
+Verilog skeleton* from the same topology: the module hierarchy, the
+pipeline registers between stages, the predict/update/repair event ports of
+every sub-component, and the per-stage override muxes — everything the
+composer determines — leaving the per-component datapaths as stubs for an
+RTL engineer (or a future behavioural backend) to fill in.
+"""
+
+from repro.rtl.verilog import generate_verilog_skeleton
+
+__all__ = ["generate_verilog_skeleton"]

@@ -1,0 +1,27 @@
+"""Analytical area model (the Cadence Genus / FinFET substitute, §V-A).
+
+The paper synthesizes each predictor at 1 GHz on a commercial FinFET
+process and reports relative area breakdowns (Figs. 8-9).  Real synthesis
+is out of reach here; instead, components report bit-accurate storage
+(:class:`~repro.core.interface.StorageReport`) and this package converts
+bits to area with calibrated per-bit SRAM/flop costs plus per-structure
+overheads.  The absolute unit is arbitrary; the *relations* Figs. 8-9 turn
+on — tagged structures cost more than untagged, management ("Meta") is
+non-trivial, the whole predictor is a small slice of the core — follow
+from the bit accounting.
+"""
+
+from repro.synthesis.sram import SramMacroModel
+from repro.synthesis.area import AreaModel, CORE_BLOCKS_UM2
+from repro.synthesis.energy import EnergyCoefficients, EnergyModel
+from repro.synthesis.report import format_breakdown, bar_chart
+
+__all__ = [
+    "SramMacroModel",
+    "AreaModel",
+    "CORE_BLOCKS_UM2",
+    "EnergyCoefficients",
+    "EnergyModel",
+    "format_breakdown",
+    "bar_chart",
+]

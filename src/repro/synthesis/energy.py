@@ -1,0 +1,101 @@
+"""Predictor energy model (§VI-A future work).
+
+The paper: "Predictor energy consumption is expected to be an important
+concern, as the energy cost of continuously reading predictor SRAMs is
+significant [Parikh et al. 2002]."  This module implements that feedback
+path: components report the bits they read per prediction
+(``StorageReport.access_bits``), the composer's statistics count prediction,
+update, mispredict, and repair events, and the energy model turns the two
+into per-component and per-instruction energy.
+
+Every prediction reads *every* sub-component's memories in parallel (the
+pipeline cannot know in advance which will provide the final prediction) —
+the structural reason big predictors burn read energy continuously.  The
+metadata mechanism (§III-D) is what keeps *update* energy to one write:
+without it, each update would need a second read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.composer import ComposedPredictor
+
+
+@dataclass(frozen=True)
+class EnergyCoefficients:
+    """Per-access energies in the model's arbitrary-but-consistent pJ."""
+
+    sram_read_pj_per_bit: float = 0.012
+    sram_write_pj_per_bit: float = 0.018
+    #: Fixed wordline/decoder cost per array access.
+    sram_access_overhead_pj: float = 1.1
+    #: Flop-array (CAM) access, per bit touched.
+    flop_access_pj_per_bit: float = 0.004
+
+
+class EnergyModel:
+    """Turns composer activity counters into energy estimates."""
+
+    def __init__(self, coefficients: EnergyCoefficients = EnergyCoefficients()):
+        self.coefficients = coefficients
+
+    # ------------------------------------------------------------------
+    def _read_energy(self, access_bits: int, is_sram: bool) -> float:
+        c = self.coefficients
+        if access_bits <= 0:
+            return 0.0
+        if is_sram:
+            return access_bits * c.sram_read_pj_per_bit + c.sram_access_overhead_pj
+        return access_bits * c.flop_access_pj_per_bit
+
+    def _write_energy(self, access_bits: int, is_sram: bool) -> float:
+        c = self.coefficients
+        if access_bits <= 0:
+            return 0.0
+        if is_sram:
+            return access_bits * c.sram_write_pj_per_bit + c.sram_access_overhead_pj
+        return access_bits * c.flop_access_pj_per_bit
+
+    # ------------------------------------------------------------------
+    def component_energy(self, predictor: ComposedPredictor) -> Dict[str, float]:
+        """Energy per component over the predictor's recorded activity.
+
+        Reads: one per component per prediction (parallel lookup).
+        Writes: one per component per committed packet (commit-time update)
+        plus one per mispredict (fast update) and per repaired entry.
+        """
+        stats = predictor.stats
+        repairs = predictor.repair_stats.entries_repaired
+        energies: Dict[str, float] = {}
+        for component in predictor.components:
+            report = component.storage()
+            is_sram = report.sram_bits > 0
+            read = self._read_energy(report.access_bits, is_sram)
+            write = self._write_energy(report.access_bits, is_sram)
+            energies[component.name] = (
+                stats.predictions * read
+                + stats.committed_packets * write
+                + (stats.mispredicts + repairs) * write
+            )
+        # History file: one write per prediction, one read per commit/repair.
+        meta_bits = sum(c.meta_bits for c in predictor.components)
+        entry_bits = meta_bits + predictor.config.global_history_bits + 32
+        energies["meta"] = (
+            stats.predictions * self._write_energy(entry_bits, True)
+            + (stats.committed_packets + stats.mispredicts + repairs)
+            * self._read_energy(entry_bits, True)
+        )
+        return energies
+
+    def total_energy(self, predictor: ComposedPredictor) -> float:
+        return sum(self.component_energy(predictor).values())
+
+    def energy_per_instruction(
+        self, predictor: ComposedPredictor, committed_instructions: int
+    ) -> float:
+        """pJ of predictor energy per committed instruction."""
+        if committed_instructions <= 0:
+            raise ValueError("committed_instructions must be positive")
+        return self.total_energy(predictor) / committed_instructions

@@ -1,0 +1,54 @@
+"""Text rendering for area and measurement breakdowns."""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+
+def format_breakdown(
+    breakdown: Mapping[str, float], unit: str = "um^2", indent: str = "  "
+) -> str:
+    """Aligned name/value/percent listing, largest first."""
+    total = sum(breakdown.values())
+    lines = []
+    for name, value in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * value / total if total else 0.0
+        lines.append(f"{indent}{name:24s} {value:12.0f} {unit}  ({share:5.1f}%)")
+    lines.append(f"{indent}{'TOTAL':24s} {total:12.0f} {unit}")
+    return "\n".join(lines)
+
+
+def bar_chart(
+    series: Mapping[str, float], width: int = 48, unit: str = ""
+) -> str:
+    """ASCII horizontal bar chart for quick visual comparison."""
+    if not series:
+        return "(empty)"
+    peak = max(series.values())
+    lines = []
+    for name, value in series.items():
+        bar = "#" * max(1, int(round(width * value / peak))) if peak else ""
+        lines.append(f"  {name:16s} |{bar:<{width}s}| {value:10.2f}{unit}")
+    return "\n".join(lines)
+
+
+def format_matrix(
+    results: Mapping[str, Mapping[str, float]],
+    value_format: str = "{:8.2f}",
+    col_width: int = 12,
+) -> str:
+    """Rows = outer keys, columns = inner keys (workloads)."""
+    systems = list(results)
+    workloads: Dict[str, None] = {}
+    for row in results.values():
+        for workload in row:
+            workloads.setdefault(workload)
+    header = f"{'':16s}" + "".join(f"{w[:col_width - 1]:>{col_width}s}" for w in workloads)
+    lines = [header]
+    for system in systems:
+        cells = "".join(
+            f"{value_format.format(results[system].get(w, float('nan'))):>{col_width}s}"
+            for w in workloads
+        )
+        lines.append(f"{system:16s}" + cells)
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""SRAM macro model.
+
+Synchronous predictor memories map to SRAM macros in the target technology
+(§V-A: "Synchronous memories in the core, including most branch predictor
+memories, were mapped to available SRAMs in that technology").  Macros come
+in discrete sizes, so small logical tables pay quantization overhead — one
+of the physical-design effects invisible to a software model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Available macro capacities in bits (power-of-two "compiler" offerings).
+MACRO_SIZES_BITS = (4096, 8192, 16384, 32768, 65536)
+
+
+@dataclass(frozen=True)
+class SramMacroModel:
+    """Converts storage bits into macro-quantized area.
+
+    ``um2_per_bit`` is the large-array asymptotic density; each macro also
+    pays ``periphery_um2`` for decoders/sense-amps, and dual-ported macros
+    cost ``dual_port_factor`` more per bit.
+    """
+
+    um2_per_bit: float = 0.22
+    periphery_um2: float = 900.0
+    dual_port_factor: float = 1.6
+
+    def macro_area(self, macro_bits: int, dual_port: bool = False) -> float:
+        per_bit = self.um2_per_bit * (self.dual_port_factor if dual_port else 1.0)
+        return macro_bits * per_bit + self.periphery_um2
+
+    def array_area(self, bits: int, dual_port: bool = False) -> float:
+        """Area of the cheapest macro set covering ``bits``."""
+        if bits <= 0:
+            return 0.0
+        remaining = bits
+        area = 0.0
+        largest = MACRO_SIZES_BITS[-1]
+        while remaining > 0:
+            if remaining >= largest:
+                area += self.macro_area(largest, dual_port)
+                remaining -= largest
+                continue
+            candidate = next(
+                size for size in MACRO_SIZES_BITS if size >= remaining
+            )
+            area += self.macro_area(candidate, dual_port)
+            remaining = 0
+        return area

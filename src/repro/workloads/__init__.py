@@ -1,0 +1,53 @@
+"""Synthetic workloads standing in for SPECint17, Dhrystone, and CoreMark.
+
+The paper runs the SPECint17 speed suite with reference inputs on FireSim
+(trillions of cycles).  Reference SPEC binaries are unavailable and
+unnecessary for the claims under reproduction: what matters is each
+benchmark's branch *character* (predictable loop nests vs. data-dependent
+chaos vs. indirect dispatch vs. pointer chasing).  Each synthetic workload
+composes kernels from :mod:`repro.workloads.generators` to match the
+documented character of its namesake (see each builder's docstring and
+DESIGN.md for the substitution argument).
+"""
+
+from repro.workloads.generators import (
+    DataAllocator,
+    WorkloadBuilder,
+    emit_correlated,
+    emit_data_branches,
+    emit_dense_branches,
+    emit_hammock,
+    emit_lcg_branches,
+    emit_linked_list,
+    emit_nested_loops,
+    emit_recursive,
+    emit_stream,
+    emit_string_ops,
+    emit_switch,
+)
+from repro.workloads.specint import SPECINT_NAMES, build as build_specint
+from repro.workloads.traces import BranchTrace, capture_trace
+from repro.workloads.dhrystone import build_dhrystone
+from repro.workloads.coremark import build_coremark
+
+__all__ = [
+    "DataAllocator",
+    "WorkloadBuilder",
+    "emit_correlated",
+    "emit_data_branches",
+    "emit_dense_branches",
+    "emit_hammock",
+    "emit_lcg_branches",
+    "emit_linked_list",
+    "emit_nested_loops",
+    "emit_recursive",
+    "emit_stream",
+    "emit_string_ops",
+    "emit_switch",
+    "SPECINT_NAMES",
+    "build_specint",
+    "BranchTrace",
+    "capture_trace",
+    "build_dhrystone",
+    "build_coremark",
+]

@@ -1,0 +1,36 @@
+"""CoreMark-like synthetic kernel (EEMBC).
+
+CoreMark combines list processing, matrix operations, state-machine
+dispatch, and CRC loops.  Its state-machine and CRC code are rich in short
+forward (hammock) branches over one or two instructions — the reason the
+paper demonstrates the short-forwards-branch predication optimization on
+it (§VI-C: 4.9 → 6.1 CoreMarks/MHz, 97% → 99.1% accuracy).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import Program
+from repro.workloads.generators import (
+    WorkloadBuilder,
+    emit_hammock,
+    emit_linked_list,
+    emit_nested_loops,
+    emit_stream,
+    emit_switch,
+)
+
+
+def build_coremark(scale: float = 1.0) -> Program:
+    """Build the CoreMark-like workload (~60k instructions at scale=1)."""
+    w = WorkloadBuilder("coremark", seed=7)
+    # CRC loop: bit tests realized as data-dependent hammocks.
+    w.add(emit_hammock, n=64, bias=0.5)
+    w.add(emit_hammock, tag="k_ham2", n=48, bias=0.3)
+    # State machine dispatch.
+    w.add(emit_switch, n=40, n_cases=7)
+    # List processing and matrix-ish loops.
+    w.add(emit_linked_list, n_nodes=48, spread=2)
+    w.add(emit_nested_loops, trips=(4, 6, 3))
+    w.add(emit_stream, n=32)
+    outer = max(1, int(round(30 * scale)))
+    return w.build(outer)

@@ -1,0 +1,525 @@
+"""Kernel library for synthetic branch-behaviour workloads.
+
+Each ``emit_*`` function appends a leaf subroutine to a program and returns
+its entry label.  Kernels follow a fixed register convention so they compose
+freely:
+
+- ``r0`` — hardwired zero, ``r15`` — link register, ``r14`` — stack pointer
+  (only the recursion kernel touches it);
+- ``r11``/``r12`` — reserved for the outer driver loop;
+- ``r1``–``r10`` — kernel-local scratch.
+
+Branch characters available:
+
+================  ====================================================
+kernel            character
+================  ====================================================
+stream            long predictable loop, high IPC
+data_branches     per-element random outcomes from a static array
+lcg_branches      in-program LCG: outcomes unlearnable by any history
+correlated        short repeating pattern: history-predictable
+nested_loops      fixed trip counts: loop-predictor food
+linked_list       pointer chase w/ value branches and cache misses
+switch            indirect dispatch through a jump table
+recursive         call/return depth: RAS exercise
+dense_branches    many adjacent branches: fetch-packet aliasing
+hammock           short forward branches over 1-2 ops: SFB food
+string_ops        small copy/compare loops (Dhrystone flavour)
+================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.isa.instructions import RA, SP
+from repro.isa.program import Program, ProgramBuilder
+
+#: First data address handed out by the allocator.
+DATA_BASE = 100_000
+#: Initial stack pointer (grows down, far from the data region).
+STACK_BASE = 90_000
+
+
+class DataAllocator:
+    """Bump allocator for static data regions."""
+
+    def __init__(self, base: int = DATA_BASE):
+        self._next = base
+
+    def alloc(self, n_words: int) -> int:
+        base = self._next
+        self._next += n_words
+        return base
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+
+def emit_stream(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n: int = 64,
+) -> str:
+    """Array reduction: one long, perfectly predictable loop."""
+    base = alloc.alloc(n)
+    b.data_block(base, rng.randint(0, 1000, size=n))
+    out = alloc.alloc(1)
+    entry = f"{tag}_stream"
+    b.label(entry)
+    b.li(1, base)
+    b.li(2, base + n)
+    b.li(3, 0)
+    b.label(f"{entry}_loop")
+    b.ld(4, 1, 0)
+    b.add(3, 3, 4)
+    b.addi(1, 1, 1)
+    b.blt(1, 2, f"{entry}_loop")
+    b.li(5, out)
+    b.st(3, 5, 0)
+    b.ret()
+    return entry
+
+
+def emit_data_branches(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n: int = 64,
+    bias: float = 0.5,
+) -> str:
+    """Branches on per-element random data (taken with probability ``bias``).
+
+    The same sequence repeats every kernel invocation, so very long
+    histories could in principle learn it; within realistic history lengths
+    these behave as biased coin flips.
+    """
+    base = alloc.alloc(n)
+    b.data_block(base, (rng.random_sample(n) < bias).astype(int))
+    entry = f"{tag}_datab"
+    b.label(entry)
+    b.li(1, base)
+    b.li(2, base + n)
+    b.li(3, 0)
+    b.label(f"{entry}_loop")
+    b.ld(4, 1, 0)
+    b.beq(4, 0, f"{entry}_skip")
+    b.addi(3, 3, 1)
+    b.label(f"{entry}_skip")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, f"{entry}_loop")
+    b.ret()
+    return entry
+
+
+def emit_lcg_branches(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n: int = 48,
+    threshold: int = 128,
+) -> str:
+    """Branches on a live linear-congruential generator.
+
+    The LCG state persists in memory across invocations, so the outcome
+    sequence never repeats: this is the irreducible-misprediction floor of
+    benchmarks like mcf and deepsjeng.  ``threshold``/256 sets the taken
+    probability.
+    """
+    state_addr = alloc.alloc(1)
+    b.data_word(state_addr, int(rng.randint(1, 2**31)))
+    entry = f"{tag}_lcg"
+    b.label(entry)
+    b.li(1, state_addr)
+    b.ld(2, 1, 0)          # r2 = LCG state
+    b.li(3, 0)             # r3 = i
+    b.li(4, n)
+    b.li(5, 6364136223846793005)
+    b.li(9, 33)
+    b.label(f"{entry}_loop")
+    b.mul(2, 2, 5)
+    b.addi(2, 2, 1442695040888963407)
+    # Take *high* bits: the low bits of a power-of-two-modulus LCG are
+    # short-period and would be history-predictable.
+    b.shr(6, 2, 9)
+    b.andi(6, 6, 0xFF)
+    b.li(7, threshold)
+    b.blt(6, 7, f"{entry}_taken")
+    b.addi(8, 8, 1)
+    b.jump(f"{entry}_join")
+    b.label(f"{entry}_taken")
+    b.addi(8, 8, 3)
+    b.label(f"{entry}_join")
+    b.addi(3, 3, 1)
+    b.blt(3, 4, f"{entry}_loop")
+    b.st(2, 1, 0)          # persist the state
+    b.ret()
+    return entry
+
+
+def emit_correlated(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n: int = 64,
+    period: int = 8,
+) -> str:
+    """Branches following a short repeating pattern.
+
+    History-based predictors (GShare, GTag, TAGE, local tables) learn the
+    period; a plain bimodal sees only the pattern's bias.
+    """
+    pattern = (rng.random_sample(period) < 0.5).astype(int)
+    if pattern.sum() in (0, period):
+        pattern[0] = 1 - pattern[0]  # ensure the pattern actually alternates
+    data = np.tile(pattern, n // period + 1)[:n]
+    base = alloc.alloc(n)
+    b.data_block(base, data)
+    entry = f"{tag}_corr"
+    b.label(entry)
+    b.li(1, base)
+    b.li(2, base + n)
+    b.li(3, 0)
+    b.label(f"{entry}_loop")
+    b.ld(4, 1, 0)
+    b.bne(4, 0, f"{entry}_taken")
+    b.addi(3, 3, 2)
+    b.jump(f"{entry}_join")
+    b.label(f"{entry}_taken")
+    b.addi(3, 3, 5)
+    b.label(f"{entry}_join")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, f"{entry}_loop")
+    b.ret()
+    return entry
+
+
+def emit_nested_loops(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    trips: Sequence[int] = (5, 7, 3),
+) -> str:
+    """A three-level loop nest with constant trip counts.
+
+    Each level's back-edge mispredicts once per exit on counter-based
+    predictors; a loop predictor learns the exact trip counts.
+    """
+    if len(trips) != 3:
+        raise ValueError("nested_loops expects exactly 3 trip counts")
+    entry = f"{tag}_nest"
+    t0, t1, t2 = trips
+    b.label(entry)
+    b.li(1, 0)
+    b.li(4, 0)  # accumulator
+    b.label(f"{entry}_l0")
+    b.li(2, 0)
+    b.label(f"{entry}_l1")
+    b.li(3, 0)
+    b.label(f"{entry}_l2")
+    b.addi(4, 4, 1)
+    b.addi(3, 3, 1)
+    b.li(5, t2)
+    b.blt(3, 5, f"{entry}_l2")
+    b.addi(2, 2, 1)
+    b.li(5, t1)
+    b.blt(2, 5, f"{entry}_l1")
+    b.addi(1, 1, 1)
+    b.li(5, t0)
+    b.blt(1, 5, f"{entry}_l0")
+    b.ret()
+    return entry
+
+
+def emit_linked_list(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n_nodes: int = 64,
+    spread: int = 8,
+) -> str:
+    """Pointer chase over shuffled two-word nodes with a value branch.
+
+    ``spread`` multiplies the memory footprint so large lists overflow the
+    L1 (mcf/omnetpp flavour: dependent loads + data-dependent branches).
+    """
+    region = alloc.alloc(n_nodes * 2 * spread)
+    order = rng.permutation(n_nodes)
+    addresses = [region + int(i) * 2 * spread for i in order]
+    values = rng.randint(0, 2, size=n_nodes)
+    for idx in range(n_nodes):
+        addr = addresses[idx]
+        nxt = addresses[idx + 1] if idx + 1 < n_nodes else 0
+        b.data_word(addr, int(values[idx]))
+        b.data_word(addr + 1, nxt)
+    entry = f"{tag}_list"
+    b.label(entry)
+    b.li(1, addresses[0])
+    b.li(3, 0)
+    b.label(f"{entry}_loop")
+    b.ld(4, 1, 0)          # node value
+    b.beq(4, 0, f"{entry}_even")
+    b.addi(3, 3, 1)
+    b.label(f"{entry}_even")
+    b.ld(1, 1, 1)          # next pointer (dependent load)
+    b.bne(1, 0, f"{entry}_loop")
+    b.ret()
+    return entry
+
+
+def emit_switch(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n: int = 48,
+    n_cases: int = 6,
+) -> str:
+    """Indirect dispatch through a jump table (interpreter flavour).
+
+    Case selection comes from a static random array, so the indirect jump's
+    target changes constantly — the stress case for BTB-based indirect
+    prediction.
+    """
+    sel_base = alloc.alloc(n)
+    b.data_block(sel_base, rng.randint(0, n_cases, size=n))
+    table_base = alloc.alloc(n_cases)
+    entry = f"{tag}_switch"
+    b.label(entry)
+    b.li(1, sel_base)
+    b.li(2, sel_base + n)
+    b.li(6, 0)
+    b.label(f"{entry}_loop")
+    b.ld(3, 1, 0)          # case id
+    b.li(4, table_base)
+    b.add(4, 4, 3)
+    b.ld(5, 4, 0)          # case handler pc
+    b.jalr(5)              # indirect dispatch (plain jump, no link)
+    b.label(f"{entry}_join")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, f"{entry}_loop")
+    b.ret()
+    for case in range(n_cases):
+        case_label = f"{entry}_case{case}"
+        b.data_label(table_base + case, case_label)
+        b.label(case_label)
+        b.addi(6, 6, case + 1)
+        b.xori(6, 6, case)
+        b.jump(f"{entry}_join")
+    return entry
+
+
+def emit_recursive(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    depth: int = 8,
+) -> str:
+    """Self-recursion to ``depth``: exercises calls, returns, and the RAS."""
+    entry = f"{tag}_rec"
+    helper = f"{entry}_inner"
+    b.label(entry)
+    b.addi(SP, SP, -1)
+    b.st(RA, SP, 0)
+    b.li(1, depth)
+    b.call(helper)
+    b.ld(RA, SP, 0)
+    b.addi(SP, SP, 1)
+    b.ret()
+    b.label(helper)
+    b.addi(SP, SP, -2)
+    b.st(RA, SP, 0)
+    b.st(1, SP, 1)
+    b.beq(1, 0, f"{helper}_base")
+    b.addi(1, 1, -1)
+    b.call(helper)
+    b.label(f"{helper}_base")
+    b.ld(1, SP, 1)
+    b.ld(RA, SP, 0)
+    b.addi(SP, SP, 2)
+    b.ret()
+    return entry
+
+
+def emit_dense_branches(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n: int = 48,
+    n_tests: int = 6,
+) -> str:
+    """Adjacent single-skip branches testing bits of a repeating value.
+
+    Several branches land in the same fetch packet, stressing superscalar
+    prediction and punishing untagged predictors through aliasing (§III-C;
+    the paper notes the Tournament design "suffers from aliasing issues").
+    The tested values repeat with a short period so the branches are
+    history-predictable *if* the predictor can tell them apart.
+    """
+    period = 16
+    pattern = rng.randint(0, 1 << n_tests, size=period)
+    base = alloc.alloc(n)
+    b.data_block(base, np.tile(pattern, n // period + 1)[:n])
+    entry = f"{tag}_dense"
+    b.label(entry)
+    b.li(1, base)
+    b.li(2, base + n)
+    b.li(3, 0)
+    b.label(f"{entry}_loop")
+    b.ld(4, 1, 0)
+    for bit in range(n_tests):
+        b.andi(5, 4, 1 << bit)
+        b.beq(5, 0, f"{entry}_s{bit}")
+        b.addi(3, 3, 1)
+        b.label(f"{entry}_s{bit}")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, f"{entry}_loop")
+    b.ret()
+    return entry
+
+
+def emit_hammock(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    n: int = 48,
+    bias: float = 0.5,
+) -> str:
+    """Short forward branches over two ALU ops, data-dependent.
+
+    The canonical short-forwards-branch (hammock) shape of §VI-C: costly to
+    predict, trivially predicated.
+    """
+    base = alloc.alloc(n)
+    b.data_block(base, (rng.random_sample(n) < bias).astype(int))
+    entry = f"{tag}_ham"
+    b.label(entry)
+    b.li(1, base)
+    b.li(2, base + n)
+    b.li(3, 0)
+    b.label(f"{entry}_loop")
+    b.ld(4, 1, 0)
+    b.bne(4, 0, f"{entry}_skip")
+    b.addi(3, 3, 1)
+    b.xori(3, 3, 5)
+    b.label(f"{entry}_skip")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, f"{entry}_loop")
+    b.ret()
+    return entry
+
+
+def emit_string_ops(
+    b: ProgramBuilder,
+    alloc: DataAllocator,
+    rng: np.random.RandomState,
+    tag: str,
+    length: int = 12,
+) -> str:
+    """Fixed-length copy and compare loops (Dhrystone's Str_Copy/Str_Comp)."""
+    src = alloc.alloc(length)
+    dst = alloc.alloc(length)
+    b.data_block(src, rng.randint(1, 100, size=length))
+    entry = f"{tag}_str"
+    b.label(entry)
+    # Copy loop.
+    b.li(1, src)
+    b.li(2, dst)
+    b.li(3, src + length)
+    b.label(f"{entry}_copy")
+    b.ld(4, 1, 0)
+    b.st(4, 2, 0)
+    b.addi(1, 1, 1)
+    b.addi(2, 2, 1)
+    b.blt(1, 3, f"{entry}_copy")
+    # Compare loop with an equality early-exit that never fires (the copy
+    # just succeeded), i.e. a highly biased branch.
+    b.li(1, src)
+    b.li(2, dst)
+    b.li(3, src + length)
+    b.label(f"{entry}_cmp")
+    b.ld(4, 1, 0)
+    b.ld(5, 2, 0)
+    b.bne(4, 5, f"{entry}_diff")
+    b.addi(1, 1, 1)
+    b.addi(2, 2, 1)
+    b.blt(1, 3, f"{entry}_cmp")
+    b.label(f"{entry}_diff")
+    b.ret()
+    return entry
+
+
+# ----------------------------------------------------------------------
+# Workload assembly
+# ----------------------------------------------------------------------
+
+class WorkloadBuilder:
+    """Assembles kernels into a complete benchmark program.
+
+    The driver loop calls each kernel once per outer iteration::
+
+        start: sp = STACK_BASE; r11 = 0; r12 = outer
+        main:  call k1; call k2; ...; r11 += 1; blt r11, r12, main; halt
+    """
+
+    def __init__(self, name: str, seed: int = 1):
+        self.builder = ProgramBuilder(name)
+        self.alloc = DataAllocator()
+        self.rng = np.random.RandomState(seed)
+        self._kernels: List[str] = []
+        self._emitted_header = False
+        self._body_jump_emitted = False
+
+    def add(self, emit_fn, tag: Optional[str] = None, **params) -> str:
+        """Emit a kernel subroutine and schedule it in the driver loop."""
+        if not self._emitted_header:
+            self._emit_header()
+        tag = tag or f"k{len(self._kernels)}"
+        label = emit_fn(self.builder, self.alloc, self.rng, tag, **params)
+        self._kernels.append(label)
+        return label
+
+    def _emit_header(self) -> None:
+        # Reserve PC 0..: jump over the kernel bodies to the driver, which
+        # is emitted last (kernels are emitted as they are added).
+        self.builder.jump("main_driver")
+        self._emitted_header = True
+
+    def build(self, outer_iterations: int = 20) -> Program:
+        if not self._kernels:
+            raise ValueError("workload has no kernels")
+        b = self.builder
+        b.label("main_driver")
+        b.li(SP, STACK_BASE)
+        b.li(11, 0)
+        b.li(12, outer_iterations)
+        b.label("main_loop")
+        for label in self._kernels:
+            b.call(label)
+        b.addi(11, 11, 1)
+        b.blt(11, 12, "main_loop")
+        b.halt()
+        return b.build()
+
+
+def estimate_dynamic_length(program: Program, cap: int = 5_000_000) -> int:
+    """Dynamic instruction count of a workload (runs the interpreter)."""
+    from repro.isa.interpreter import Interpreter
+
+    count = 0
+    for _ in Interpreter(program).run(cap):
+        count += 1
+    return count

@@ -1,0 +1,106 @@
+"""Micro-workloads: one branch-behaviour class per program.
+
+§II-A's premise — "a collection of predictors with affinities for different
+branch behaviors can be more accurate and efficient than a single generic
+predictor" — is testable only with workloads that isolate one behaviour at
+a time.  Each micro-workload here exercises a single class; the affinity
+matrix bench runs every predictor over every class.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.isa.program import Program
+from repro.workloads.generators import (
+    WorkloadBuilder,
+    emit_correlated,
+    emit_data_branches,
+    emit_dense_branches,
+    emit_hammock,
+    emit_lcg_branches,
+    emit_linked_list,
+    emit_nested_loops,
+    emit_recursive,
+    emit_stream,
+    emit_switch,
+)
+
+MICRO_NAMES = (
+    "steady_loop",
+    "biased",
+    "pattern_short",
+    "pattern_long",
+    "random",
+    "counted_loops",
+    "dense_aliasing",
+    "pointer_chase",
+    "dispatch",
+    "call_ret",
+)
+
+
+def _one_kernel(name: str, seed: int, emit, outer: int, **params) -> Program:
+    w = WorkloadBuilder(name, seed=seed)
+    w.add(emit, **params)
+    return w.build(outer)
+
+
+def _builders() -> Dict[str, Callable[[float], Program]]:
+    return {
+        # A single long predictable loop: every predictor's best case.
+        "steady_loop": lambda s: _one_kernel(
+            "steady_loop", 11, emit_stream, int(40 * s) or 1, n=96
+        ),
+        # Heavily biased data branches (90% taken): bimodal territory.
+        "biased": lambda s: _one_kernel(
+            "biased", 12, emit_data_branches, int(30 * s) or 1, n=64, bias=0.9
+        ),
+        # Short repeating pattern: any history predictor can learn it.
+        "pattern_short": lambda s: _one_kernel(
+            "pattern_short", 13, emit_correlated, int(30 * s) or 1, n=64, period=4
+        ),
+        # Long repeating pattern: needs long histories (TAGE's case).
+        "pattern_long": lambda s: _one_kernel(
+            "pattern_long", 14, emit_correlated, int(30 * s) or 1, n=64, period=24
+        ),
+        # True randomness: nobody can do better than the bias.
+        "random": lambda s: _one_kernel(
+            "random", 15, emit_lcg_branches, int(30 * s) or 1, n=64, threshold=128
+        ),
+        # Fixed trip counts: the loop predictor's case.
+        "counted_loops": lambda s: _one_kernel(
+            "counted_loops", 16, emit_nested_loops, int(40 * s) or 1, trips=(6, 9, 4)
+        ),
+        # Many adjacent history-predictable branches: aliasing pressure,
+        # where untagged predictors fall over (the Tournament weakness).
+        "dense_aliasing": lambda s: _one_kernel(
+            "dense_aliasing", 17, emit_dense_branches, int(25 * s) or 1,
+            n=48, n_tests=6,
+        ),
+        # Dependent loads with value branches.
+        "pointer_chase": lambda s: _one_kernel(
+            "pointer_chase", 18, emit_linked_list, int(25 * s) or 1,
+            n_nodes=96, spread=4,
+        ),
+        # Indirect dispatch: BTB/ITTAGE territory.
+        "dispatch": lambda s: _one_kernel(
+            "dispatch", 19, emit_switch, int(25 * s) or 1, n=48, n_cases=6
+        ),
+        # Deep call/return chains: RAS territory.
+        "call_ret": lambda s: _one_kernel(
+            "call_ret", 20, emit_recursive, int(60 * s) or 1, depth=10
+        ),
+    }
+
+
+def build_micro(name: str, scale: float = 1.0) -> Program:
+    """Build one micro-workload by behaviour-class name."""
+    builders = _builders()
+    if name not in builders:
+        raise KeyError(f"unknown micro workload {name!r}; have {MICRO_NAMES}")
+    return builders[name](scale)
+
+
+def build_all_micro(scale: float = 1.0) -> Dict[str, Program]:
+    return {name: build_micro(name, scale) for name in MICRO_NAMES}

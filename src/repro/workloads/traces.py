@@ -1,0 +1,121 @@
+"""Branch-trace capture and replay (the CBP/ChampSim-style substrate).
+
+The software simulators the paper contrasts against (§II-B) consume branch
+*traces*: per-branch records of (pc, type, taken, target).  This module
+captures such traces from the interpreter, stores them compactly (npz), and
+characterizes them — so the repository supports the trace-based workflow as
+a first-class (if deliberately inferior, per the paper) methodology, and so
+workload branch character is itself measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.isa.interpreter import Interpreter
+from repro.isa.program import Program
+
+#: Branch-type codes in the trace format.
+TYPE_COND = 0
+TYPE_JAL = 1
+TYPE_JALR = 2
+TYPE_CALL = 3
+TYPE_RET = 4
+
+
+@dataclass
+class BranchTrace:
+    """Columnar trace of every control-flow instruction executed."""
+
+    pcs: np.ndarray      # int64
+    types: np.ndarray    # uint8 (TYPE_*)
+    taken: np.ndarray    # bool (always True for jumps)
+    targets: np.ndarray  # int64 (next_pc when taken)
+    #: Architectural instruction count of the traced run (for MPKI).
+    instruction_count: int = 0
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        np.savez_compressed(
+            Path(path),
+            pcs=self.pcs,
+            types=self.types,
+            taken=self.taken,
+            targets=self.targets,
+            instruction_count=np.int64(self.instruction_count),
+        )
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "BranchTrace":
+        data = np.load(Path(path))
+        return cls(
+            pcs=data["pcs"],
+            types=data["types"],
+            taken=data["taken"],
+            targets=data["targets"],
+            instruction_count=int(data["instruction_count"]),
+        )
+
+    # ------------------------------------------------------------------
+    def characterize(self) -> Dict[str, float]:
+        """Workload branch-character summary (the per-benchmark table)."""
+        cond = self.types == TYPE_COND
+        n_cond = int(cond.sum())
+        stats: Dict[str, float] = {
+            "branches": float(len(self)),
+            "cond_branches": float(n_cond),
+            "branch_density": len(self) / max(1, self.instruction_count),
+            "taken_rate": float(self.taken[cond].mean()) if n_cond else 0.0,
+            "indirect_share": float((self.types == TYPE_JALR).mean()) if len(self) else 0.0,
+            "call_ret_share": float(
+                np.isin(self.types, (TYPE_CALL, TYPE_RET)).mean()
+            ) if len(self) else 0.0,
+        }
+        # Per-site outcome entropy proxy: share of conditional branch sites
+        # with mixed outcomes (the "hard branch" population).
+        sites: Dict[int, list] = {}
+        for pc, t, tk in zip(self.pcs[cond], self.types[cond], self.taken[cond]):
+            sites.setdefault(int(pc), []).append(bool(tk))
+        mixed = sum(1 for v in sites.values() if 0 < sum(v) < len(v))
+        stats["static_cond_sites"] = float(len(sites))
+        stats["mixed_site_share"] = mixed / max(1, len(sites))
+        return stats
+
+
+def capture_trace(program: Program, max_instructions: int = 5_000_000) -> BranchTrace:
+    """Execute ``program`` and record every control-flow transfer."""
+    pcs, types, taken, targets = [], [], [], []
+    count = 0
+    for record in Interpreter(program).run(max_instructions):
+        count += 1
+        instr = record.instr
+        if instr.is_cond_branch:
+            kind = TYPE_COND
+        elif instr.is_call:
+            kind = TYPE_CALL
+        elif instr.is_ret:
+            kind = TYPE_RET
+        elif instr.is_indirect:
+            kind = TYPE_JALR
+        elif instr.is_jump:
+            kind = TYPE_JAL
+        else:
+            continue
+        pcs.append(record.pc)
+        types.append(kind)
+        taken.append(record.taken or instr.is_jump)
+        targets.append(record.next_pc)
+    return BranchTrace(
+        pcs=np.asarray(pcs, dtype=np.int64),
+        types=np.asarray(types, dtype=np.uint8),
+        taken=np.asarray(taken, dtype=bool),
+        targets=np.asarray(targets, dtype=np.int64),
+        instruction_count=count,
+    )

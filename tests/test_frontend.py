@@ -1,0 +1,280 @@
+"""End-to-end tests of the host-core model."""
+
+import pytest
+
+from repro import presets
+from repro.frontend import Core, CoreConfig
+from repro.frontend.caches import DataCacheModel
+from repro.frontend.config import CacheConfig
+from repro.frontend.oracle import OracleStream
+from repro.isa import ProgramBuilder, run_program
+
+
+def simple_loop(n=50, name="loop"):
+    b = ProgramBuilder(name)
+    b.li(1, 0)
+    b.li(2, n)
+    b.label("top")
+    b.addi(1, 1, 1)
+    b.blt(1, 2, "top")
+    b.halt()
+    return b.build()
+
+
+def run(program, preset="b2", config=None, **kwargs):
+    core = Core(program, presets.build(preset), config or CoreConfig())
+    return core.run(**kwargs)
+
+
+class TestArchitecturalCorrectness:
+    """The speculative core must commit exactly the oracle's stream."""
+
+    @pytest.mark.parametrize("preset", ["tage_l", "b2", "tourney"])
+    def test_commits_match_oracle(self, preset):
+        program = simple_loop(60)
+        oracle_len = len(run_program(program))
+        stats = run(program, preset)
+        assert stats.committed_instructions == oracle_len
+
+    def test_call_ret_program(self):
+        b = ProgramBuilder("callret")
+        b.li(5, 0)
+        b.li(6, 20)
+        b.label("main")
+        b.call("leaf")
+        b.addi(5, 5, 1)
+        b.blt(5, 6, "main")
+        b.halt()
+        b.label("leaf")
+        b.addi(7, 7, 1)
+        b.ret()
+        program = b.build()
+        oracle_len = len(run_program(program))
+        stats = run(program, "tage_l")
+        assert stats.committed_instructions == oracle_len
+
+    def test_indirect_jump_program(self):
+        b = ProgramBuilder("indirect")
+        b.li(1, 0)
+        b.li(2, 12)
+        b.label("top")
+        b.andi(3, 1, 1)
+        b.li(4, 0)
+        b.beq(3, 4, "even")
+        b.li(5, 20)
+        b.jalr(5)
+        b.label("even")
+        b.addi(6, 6, 1)
+        b.label("join")
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.halt()
+        while b.pc < 20:
+            b.nop()
+        b.jump("join")  # pc 20
+        program = b.build()
+        oracle_len = len(run_program(program))
+        stats = run(program)
+        assert stats.committed_instructions == oracle_len
+        assert stats.target_mispredicts >= 1  # first indirect is unknown
+
+    def test_branch_counts_match_oracle(self):
+        program = simple_loop(40)
+        trace = run_program(program)
+        oracle_branches = sum(1 for r in trace if r.instr.is_cond_branch)
+        stats = run(program)
+        assert stats.committed_branches == oracle_branches
+
+
+class TestPredictionQuality:
+    def test_warm_loop_nearly_perfect(self):
+        stats = run(simple_loop(400), "tage_l")
+        # One hard exit mispredict, a handful of warmup misses.
+        assert stats.branch_mispredicts <= 8
+
+    def test_unpredictable_branch_mispredicts(self):
+        b = ProgramBuilder("lcg")
+        b.li(1, 0)
+        b.li(2, 64)
+        b.li(7, 12345)
+        b.li(8, 6364136223846793005)
+        b.li(9, 33)
+        b.label("top")
+        b.mul(7, 7, 8)
+        b.addi(7, 7, 99)
+        b.shr(3, 7, 9)
+        b.andi(3, 3, 1)
+        b.beq(3, 0, "skip")
+        b.addi(4, 4, 1)
+        b.label("skip")
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.halt()
+        stats = run(b.build(), "tage_l")
+        assert stats.branch_mispredicts >= 15  # ~50% of 64 hard branches
+
+    def test_ipc_positive_and_bounded(self):
+        stats = run(simple_loop(200), "tage_l")
+        assert 0.1 < stats.ipc <= 4.0
+
+
+class TestLatencyEffects:
+    def test_ubtb_reduces_taken_branch_bubbles(self):
+        """TAGE-L's 1-cycle uBTB should beat B2 (no stage-1 component) on a
+        tight taken loop."""
+        program = simple_loop(300)
+        cycles_tage = run(program, "tage_l").cycles
+        cycles_b2 = run(program, "b2").cycles
+        assert cycles_tage < cycles_b2
+
+    def test_stage_redirects_recorded(self):
+        stats = run(simple_loop(100), "b2")
+        assert sum(stats.stage_redirects.values()) > 0
+
+
+class TestConfigChecks:
+    def test_fetch_width_mismatch_rejected(self):
+        program = simple_loop(10)
+        predictor = presets.build("b2", fetch_width=2)
+        with pytest.raises(ValueError, match="fetch width"):
+            Core(program, predictor, CoreConfig(fetch_width=4))
+
+    def test_max_cycles_stops(self):
+        stats = run(simple_loop(10_000), max_cycles=200)
+        assert stats.cycles <= 201
+
+    def test_max_instructions_stops(self):
+        stats = run(simple_loop(10_000), max_instructions=500)
+        assert stats.committed_instructions >= 500
+        assert stats.committed_instructions < 1200
+
+
+class TestSerializedFetch:
+    def test_serialization_costs_cycles(self):
+        """§I: serializing fetch behind branches reduces IPC.
+
+        The cost appears on packets containing *not-taken* branches, which
+        a superscalar predictor sails past but a serialized fetch cuts at.
+        """
+        b = ProgramBuilder("dense")
+        b.li(1, 0)
+        b.li(2, 300)
+        b.li(3, -1)
+        b.label("top")
+        b.beq(1, 3, "never")  # never taken
+        b.addi(4, 4, 1)
+        b.beq(1, 3, "never")  # never taken
+        b.addi(5, 5, 1)
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.label("never")
+        b.halt()
+        program = b.build()
+        normal = Core(program, presets.build("tage_l"), CoreConfig()).run()
+        serial_pred = presets.build("tage_l", serialize_cfi=True)
+        serial = Core(program, serial_pred, CoreConfig()).run()
+        assert serial.ipc < 0.9 * normal.ipc
+
+
+class TestSfb:
+    def _hammock_program(self, n=200):
+        b = ProgramBuilder("hammock")
+        b.li(1, 0)
+        b.li(2, n)
+        b.li(7, 9973)
+        b.li(8, 6364136223846793005)
+        b.li(9, 40)
+        b.label("top")
+        b.mul(7, 7, 8)
+        b.addi(7, 7, 7)
+        b.shr(3, 7, 9)
+        b.andi(3, 3, 1)
+        b.beq(3, 0, "skip")  # short forward branch over 2 ALU ops
+        b.addi(4, 4, 1)
+        b.xori(4, 4, 3)
+        b.label("skip")
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.halt()
+        return b.build()
+
+    def test_sfb_eliminates_hammock_mispredicts(self):
+        program = self._hammock_program()
+        base = Core(program, presets.build("tage_l"), CoreConfig()).run()
+        sfb = Core(
+            program, presets.build("tage_l"), CoreConfig(sfb_enabled=True)
+        ).run()
+        assert base.branch_mispredicts > 40
+        assert sfb.branch_mispredicts < base.branch_mispredicts / 4
+        assert sfb.sfb_converted > 0
+        # Predicated shadow work commits as no-ops.
+        assert sfb.committed_predicated > 0
+        assert sfb.ipc > base.ipc
+
+    def test_sfb_does_not_change_architectural_count(self):
+        program = self._hammock_program(100)
+        oracle_len = len(run_program(program))
+        sfb = Core(
+            program, presets.build("tage_l"), CoreConfig(sfb_enabled=True)
+        ).run()
+        assert sfb.committed_instructions == oracle_len
+
+    def test_sfb_detection_requires_clean_shadow(self):
+        b = ProgramBuilder("dirty")
+        b.li(1, 0)
+        b.beq(1, 0, "target")
+        b.call("target")  # CFI in shadow: not an SFB
+        b.label("target")
+        b.halt()
+        core = Core(b.build(), presets.build("b2"), CoreConfig(sfb_enabled=True))
+        assert core._sfb_pcs == frozenset()
+
+
+class TestCaches:
+    def test_lru_hit_after_access(self):
+        cache = DataCacheModel(CacheConfig())
+        assert cache.load_penalty(100) > 0  # cold miss
+        assert cache.load_penalty(100) == 0  # now hot
+
+    def test_same_line_hits(self):
+        cache = DataCacheModel(CacheConfig(line_words=8))
+        cache.load_penalty(64)
+        assert cache.load_penalty(65) == 0
+
+    def test_l2_catches_l1_evictions(self):
+        config = CacheConfig(l1_sets=2, l1_ways=1, l2_sets=64, l2_ways=8)
+        cache = DataCacheModel(config)
+        cache.load_penalty(0)
+        cache.load_penalty(16)  # same L1 set (2 sets, line 8): evicts 0
+        penalty = cache.load_penalty(0)
+        assert penalty == config.l2_hit_penalty
+
+    def test_stats_counted(self):
+        cache = DataCacheModel(CacheConfig())
+        cache.load_penalty(0)
+        cache.load_penalty(0)
+        assert cache.stats.accesses == 2
+        assert cache.stats.l1_misses == 1
+
+
+class TestOracle:
+    def test_get_and_trim(self):
+        program = simple_loop(5)
+        oracle = OracleStream(program)
+        first = oracle.get(0)
+        assert first.pc == 0
+        tenth = oracle.get(9)
+        oracle.trim(5)
+        assert oracle.get(5) is not None
+        with pytest.raises(IndexError):
+            oracle.get(2)
+
+    def test_end_returns_none(self):
+        oracle = OracleStream(simple_loop(2))
+        assert oracle.get(10_000) is None
+
+    def test_rewind_supported_until_trim(self):
+        oracle = OracleStream(simple_loop(5))
+        a = oracle.get(3)
+        oracle.get(8)
+        assert oracle.get(3) is a

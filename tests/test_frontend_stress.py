@@ -1,0 +1,186 @@
+"""Stress tests for the host core: structural limits, mixed control flow,
+and correctness under extreme configurations.
+
+The invariant throughout: whatever the configuration, the core commits
+exactly the architectural instruction stream — structural pressure may only
+cost cycles.
+"""
+
+import pytest
+
+from repro import presets
+from repro.frontend import Core, CoreConfig
+from repro.frontend.config import ICacheConfig
+from repro.isa import ProgramBuilder, RA, SP, run_program
+from repro.workloads import build_specint
+from repro.workloads.generators import (
+    WorkloadBuilder,
+    emit_recursive,
+    emit_switch,
+)
+
+
+def run_exact(program, preset="b2", config=None):
+    """Run and assert architectural equivalence; return stats."""
+    expected = len(run_program(program))
+    core = Core(program, presets.build(preset), config or CoreConfig())
+    stats = core.run(max_cycles=500_000)
+    assert stats.committed_instructions == expected
+    return stats
+
+
+def mixed_control_program(rounds=25):
+    """Calls, returns, indirect dispatch, hard and easy branches together."""
+    w = WorkloadBuilder("mixed", seed=9)
+    w.add(emit_recursive, depth=6)
+    w.add(emit_switch, n=12, n_cases=4)
+    return w.build(rounds)
+
+
+class TestStructuralLimits:
+    def test_tiny_fetch_buffer(self):
+        program = build_specint("xz", scale=0.08)
+        stats = run_exact(program, config=CoreConfig(fetch_buffer_packets=1))
+        assert stats.cycles > 0
+
+    def test_tiny_rob(self):
+        program = build_specint("xz", scale=0.08)
+        run_exact(program, config=CoreConfig(rob_entries=8))
+
+    def test_narrow_decode_and_commit(self):
+        program = build_specint("gcc", scale=0.08)
+        narrow = run_exact(
+            program, config=CoreConfig(decode_width=1, commit_width=1)
+        )
+        wide = run_exact(program, config=CoreConfig())
+        assert narrow.ipc < wide.ipc
+        assert narrow.ipc <= 1.0 + 1e-9  # cannot beat 1-wide commit
+
+    def test_tiny_ftq_stalls_but_stays_correct(self):
+        program = build_specint("xz", scale=0.08)
+        predictor = presets.build("b2", ftq_entries=4)
+        expected = len(run_program(program))
+        core = Core(program, predictor, CoreConfig())
+        stats = core.run(max_cycles=500_000)
+        assert stats.committed_instructions == expected
+        assert stats.fetch_bubble_cycles > 0  # FTQ-full stalls happened
+
+    def test_rob_larger_than_ftq_capacity(self):
+        """Packets cannot outrun history-file entries."""
+        program = build_specint("exchange2", scale=0.08)
+        predictor = presets.build("tage_l", ftq_entries=8)
+        core = Core(program, predictor, CoreConfig(rob_entries=128))
+        expected = len(run_program(program))
+        stats = core.run(max_cycles=500_000)
+        assert stats.committed_instructions == expected
+
+
+class TestMixedControlFlow:
+    @pytest.mark.parametrize("preset", ["tage_l", "b2", "tourney"])
+    def test_calls_switches_and_branches(self, preset):
+        run_exact(mixed_control_program(), preset)
+
+    def test_deep_recursion_beyond_ras(self):
+        """Recursion deeper than the RAS: returns mispredict but the
+        architectural stream is intact."""
+        b = ProgramBuilder("deep")
+        b.li(SP, 80_000)
+        b.li(1, 40)  # depth 40 > RAS depth 8
+        b.call("rec")
+        b.halt()
+        b.label("rec")
+        b.addi(SP, SP, -2)
+        b.st(RA, SP, 0)
+        b.st(1, SP, 1)
+        b.beq(1, 0, "base")
+        b.addi(1, 1, -1)
+        b.call("rec")
+        b.label("base")
+        b.ld(1, SP, 1)
+        b.ld(RA, SP, 0)
+        b.addi(SP, SP, 2)
+        b.ret()
+        program = b.build()
+        config = CoreConfig(ras_depth=8)
+        run_exact(program, "tage_l", config)
+
+    def test_alternating_call_sites(self):
+        """Two call sites into one function: the RAS must steer each return
+        to the right place."""
+        b = ProgramBuilder("alt")
+        b.li(1, 0)
+        b.li(2, 30)
+        b.label("top")
+        b.call("fn")
+        b.addi(3, 3, 1)
+        b.call("fn")
+        b.addi(4, 4, 1)
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "top")
+        b.halt()
+        b.label("fn")
+        b.addi(5, 5, 1)
+        b.ret()
+        program = b.build()
+        stats = run_exact(program, "tage_l")
+        # Warm returns should not mispredict: RAS steering works.
+        assert stats.target_mispredicts < 8
+
+    def test_branch_into_middle_of_packet(self):
+        """A taken branch targeting a non-aligned pc: mid-packet fetch."""
+        b = ProgramBuilder("mid")
+        b.li(1, 0)
+        b.li(2, 40)
+        b.label("top")          # ensure target lands mid-packet
+        b.nop()
+        b.nop()
+        b.addi(1, 1, 1)
+        b.nop()
+        b.nop()
+        b.blt(1, 2, "back")
+        b.halt()
+        b.label("back")
+        b.jump("top")
+        program = b.build()
+        run_exact(program, "tage_l")
+
+    def test_self_loop_single_instruction(self):
+        """A branch that targets itself (degenerate loop)."""
+        b = ProgramBuilder("self")
+        b.li(1, 0)
+        b.li(2, 50)
+        b.label("spin")
+        b.addi(1, 1, 1)
+        b.blt(1, 2, "spin")
+        b.halt()
+        run_exact(b.build(), "b2")
+
+
+class TestConfigMatrix:
+    @pytest.mark.parametrize("repair_mode", ["replay", "no_replay"])
+    @pytest.mark.parametrize("serialize", [False, True])
+    def test_mode_matrix_architecturally_exact(self, repair_mode, serialize):
+        program = build_specint("perlbench", scale=0.06)
+        predictor = presets.build(
+            "tage_l", ghist_repair_mode=repair_mode, serialize_cfi=serialize
+        )
+        expected = len(run_program(program))
+        stats = Core(program, predictor, CoreConfig()).run(max_cycles=500_000)
+        assert stats.committed_instructions == expected
+
+    def test_sfb_with_icache_and_narrow_core(self):
+        program = build_specint("gcc", scale=0.06)
+        config = CoreConfig(
+            decode_width=2,
+            commit_width=2,
+            sfb_enabled=True,
+            icache=ICacheConfig(enabled=True, n_sets=8, n_ways=2),
+        )
+        run_exact(program, "tage_l", config)
+
+    def test_deterministic_across_runs(self):
+        program = build_specint("leela", scale=0.08)
+        a = Core(program, presets.build("tage_l"), CoreConfig()).run()
+        b = Core(program, presets.build("tage_l"), CoreConfig()).run()
+        assert a.cycles == b.cycles
+        assert a.branch_mispredicts == b.branch_mispredicts

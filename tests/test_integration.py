@@ -1,0 +1,113 @@
+"""Cross-module integration tests: whole-system invariants on real
+workloads, consistency between the composer's and the core's accounting,
+and the headline Fig. 10 ordering on a fast subset."""
+
+import pytest
+
+from repro import presets
+from repro.eval import run_workload
+from repro.frontend import Core, CoreConfig
+from repro.isa import run_program
+from repro.workloads import build_coremark, build_dhrystone, build_specint
+
+
+@pytest.fixture(scope="module")
+def dhrystone():
+    return build_dhrystone(scale=0.25)
+
+
+class TestAccountingConsistency:
+    def test_composer_and_core_agree_on_mispredicts(self, dhrystone):
+        predictor = presets.build("b2")
+        core = Core(dhrystone, predictor, CoreConfig())
+        stats = core.run()
+        assert predictor.stats.direction_mispredicts == stats.branch_mispredicts
+        assert predictor.stats.target_mispredicts == stats.target_mispredicts
+
+    def test_committed_packets_cover_instructions(self, dhrystone):
+        predictor = presets.build("b2")
+        core = Core(dhrystone, predictor, CoreConfig())
+        stats = core.run()
+        # Every committed instruction belongs to some committed packet of
+        # <= fetch_width instructions.
+        total = stats.committed_instructions + stats.committed_predicated
+        assert predictor.stats.committed_packets >= total / 4
+
+    def test_history_file_drains_at_halt(self, dhrystone):
+        predictor = presets.build("tage_l")
+        core = Core(dhrystone, predictor, CoreConfig())
+        core.run()
+        # Entries may remain for in-flight wrong-path packets, but never
+        # more than capacity.
+        assert len(predictor.history_file) <= predictor.config.ftq_entries
+
+    def test_oracle_instruction_count_exact(self, dhrystone):
+        expected = len(run_program(dhrystone))
+        for preset in ("tage_l", "b2", "tourney"):
+            stats = Core(dhrystone, presets.build(preset), CoreConfig()).run()
+            assert stats.committed_instructions == expected
+
+
+class TestHeadlineOrdering:
+    """The qualitative Fig. 10 claims, on one fast hard workload and one
+    fast easy workload."""
+
+    @pytest.fixture(scope="class")
+    def results(self):
+        out = {}
+        for bench, scale in (("xz", 0.35), ("exchange2", 0.35)):
+            program = build_specint(bench, scale=scale)
+            out[bench] = {
+                name: run_workload(name, program)
+                for name in ("tage_l", "b2", "tourney")
+            }
+        return out
+
+    def test_tage_l_most_accurate_on_hard_code(self, results):
+        xz = results["xz"]
+        assert xz["tage_l"].mpki <= xz["b2"].mpki
+        assert xz["tage_l"].mpki <= xz["tourney"].mpki
+
+    def test_tage_l_best_ipc(self, results):
+        for bench in results:
+            best = results[bench]["tage_l"].ipc
+            assert best >= results[bench]["b2"].ipc
+            assert best >= results[bench]["tourney"].ipc
+
+    def test_easy_code_is_predictable(self, results):
+        assert results["exchange2"]["tage_l"].branch_accuracy > 0.95
+
+
+class TestSection6Effects:
+    def test_ghist_replay_beats_no_replay_on_accuracy(self):
+        """§VI-B: repairing + replaying improves prediction accuracy."""
+        program = build_specint("xz", scale=0.5)
+        replay = run_workload(
+            presets.build("tage_l", ghist_repair_mode="replay"),
+            program, system_name="replay",
+        )
+        stale = run_workload(
+            presets.build("tage_l", ghist_repair_mode="no_replay",
+                          ghist_corruption_window=8),
+            program, system_name="no_replay",
+        )
+        assert replay.branch_mispredicts <= stale.branch_mispredicts
+
+    def test_tage_latency_increase_small_ipc_cost(self):
+        """§VI-A: TAGE at 3 cycles costs little vs 2 cycles."""
+        program = build_specint("x264", scale=0.4)
+        fast = run_workload(presets.build("tage_l", tage_latency=2), program,
+                            system_name="tage2")
+        slow = run_workload(presets.build("tage_l", tage_latency=3), program,
+                            system_name="tage3")
+        assert slow.ipc >= fast.ipc * 0.9  # "minimal (~1%) degradation"
+        assert abs(slow.mpki - fast.mpki) < 5.0
+
+    def test_sfb_improves_coremark(self):
+        """§VI-C: hammock predication lifts CoreMark accuracy."""
+        program = build_coremark(scale=0.4)
+        base = Core(program, presets.build("tage_l"), CoreConfig()).run()
+        sfb = Core(program, presets.build("tage_l"),
+                   CoreConfig(sfb_enabled=True)).run()
+        assert sfb.branch_accuracy > base.branch_accuracy
+        assert sfb.ipc > base.ipc

@@ -1,0 +1,100 @@
+"""Tests for the program builder (labels, fixups, data)."""
+
+import pytest
+
+from repro.isa import Opcode, ProgramBuilder
+from repro.isa.program import Program
+
+
+class TestLabels:
+    def test_forward_reference(self):
+        b = ProgramBuilder("t")
+        b.jump("end")
+        b.li(1, 1)
+        b.label("end")
+        b.halt()
+        prog = b.build()
+        assert prog.instructions[0].target == 2
+
+    def test_backward_reference(self):
+        b = ProgramBuilder("t")
+        b.label("top")
+        b.li(1, 1)
+        b.jump("top")
+        prog = b.build()
+        assert prog.instructions[1].target == 0
+
+    def test_undefined_label_raises(self):
+        b = ProgramBuilder("t")
+        b.jump("nowhere")
+        with pytest.raises(ValueError, match="nowhere"):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = ProgramBuilder("t")
+        b.label("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            b.label("a")
+
+    def test_numeric_target_passthrough(self):
+        b = ProgramBuilder("t")
+        b.beq(1, 2, 7)
+        prog = b.build()
+        assert prog.instructions[0].target == 7
+
+    def test_pc_property(self):
+        b = ProgramBuilder("t")
+        assert b.pc == 0
+        b.li(1, 1)
+        assert b.pc == 1
+
+
+class TestData:
+    def test_data_word_and_block(self):
+        b = ProgramBuilder("t")
+        b.data_word(10, 5)
+        b.data_block(20, [1, 2, 3])
+        b.halt()
+        prog = b.build()
+        assert prog.data[10] == 5
+        assert prog.data[21] == 2
+
+    def test_data_label_resolves_to_pc(self):
+        b = ProgramBuilder("t")
+        b.halt()
+        b.label("handler")
+        b.nop()
+        b.data_label(100, "handler")
+        prog = b.build()
+        assert prog.data[100] == 1
+
+    def test_data_label_undefined_raises(self):
+        b = ProgramBuilder("t")
+        b.halt()
+        b.data_label(100, "missing")
+        with pytest.raises(ValueError, match="missing"):
+            b.build()
+
+
+class TestProgram:
+    def test_fetch_in_and_out_of_range(self):
+        prog = Program([], name="empty")
+        assert prog.fetch(0) is None
+        b = ProgramBuilder("t")
+        b.nop()
+        prog = b.build()
+        assert prog.fetch(0).op is Opcode.NOP
+        assert prog.fetch(1) is None
+        assert prog.fetch(-1) is None
+
+    def test_static_branch_count(self):
+        b = ProgramBuilder("t")
+        b.beq(1, 2, 0)
+        b.jump(0)
+        b.nop()
+        assert b.build().static_branch_count() == 2
+
+    def test_len(self):
+        b = ProgramBuilder("t")
+        b.nop().nop().halt()
+        assert len(b.build()) == 3

@@ -1,0 +1,114 @@
+"""Tests for the metadata bitfield codec and index schemes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.components.base import IndexScheme, MetaCodec
+
+
+class TestMetaCodec:
+    def test_scalar_roundtrip(self):
+        codec = MetaCodec([("hit", 1), ("way", 2)])
+        meta = codec.pack(hit=1, way=3)
+        assert codec.unpack(meta) == {"hit": 1, "way": 3}
+
+    def test_vector_roundtrip(self):
+        codec = MetaCodec([("ctr", 2, 4)])
+        meta = codec.pack(ctr=[0, 1, 2, 3])
+        assert codec.unpack(meta)["ctr"] == [0, 1, 2, 3]
+
+    def test_width_accumulates(self):
+        codec = MetaCodec([("a", 3), ("b", 2, 4), ("c", 1)])
+        assert codec.width == 3 + 8 + 1
+
+    def test_missing_field_defaults_zero(self):
+        codec = MetaCodec([("a", 2), ("b", 2)])
+        assert codec.unpack(codec.pack(b=3)) == {"a": 0, "b": 3}
+
+    def test_value_too_wide_rejected(self):
+        codec = MetaCodec([("a", 2)])
+        with pytest.raises(ValueError):
+            codec.pack(a=4)
+
+    def test_negative_rejected(self):
+        codec = MetaCodec([("a", 2)])
+        with pytest.raises(ValueError):
+            codec.pack(a=-1)
+
+    def test_unknown_field_rejected(self):
+        codec = MetaCodec([("a", 2)])
+        with pytest.raises(ValueError, match="unknown"):
+            codec.pack(a=1, z=1)
+
+    def test_wrong_lane_count_rejected(self):
+        codec = MetaCodec([("v", 2, 4)])
+        with pytest.raises(ValueError, match="lanes"):
+            codec.pack(v=[1, 2])
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            MetaCodec([("a", 1), ("a", 2)])
+
+    def test_fields_independent(self):
+        codec = MetaCodec([("lo", 4), ("hi", 4)])
+        meta = codec.pack(lo=0xF, hi=0x0)
+        assert codec.unpack(meta) == {"lo": 0xF, "hi": 0x0}
+
+    @given(st.lists(st.integers(0, 7), min_size=4, max_size=4), st.integers(0, 1))
+    def test_roundtrip_property(self, lanes, flag):
+        codec = MetaCodec([("flag", 1), ("lanes", 3, 4)])
+        meta = codec.pack(flag=flag, lanes=lanes)
+        out = codec.unpack(meta)
+        assert out["flag"] == flag
+        assert out["lanes"] == lanes
+        assert 0 <= meta < (1 << codec.width)
+
+
+class TestIndexScheme:
+    def test_pc_scheme_ignores_history(self):
+        scheme = IndexScheme("pc", 8)
+        assert scheme.index(5, 0, 0) == scheme.index(5, 123, 456)
+
+    def test_ghist_scheme_uses_history(self):
+        scheme = IndexScheme("ghist", 8, history_bits=16)
+        assert scheme.index(5, 0b1111, 0) != scheme.index(5, 0b1010, 0)
+        assert scheme.uses_global_history and not scheme.uses_local_history
+
+    def test_lhist_scheme(self):
+        scheme = IndexScheme("lhist", 8, history_bits=16)
+        assert scheme.uses_local_history
+        assert scheme.index(5, 0, 3) != scheme.index(5, 0, 12)
+
+    def test_gshare_mixes_both(self):
+        scheme = IndexScheme("gshare", 8, history_bits=16)
+        assert scheme.index(5, 7, 0) != scheme.index(9, 7, 0)
+        assert scheme.index(5, 7, 0) != scheme.index(5, 8, 0)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            IndexScheme("magic", 8)
+
+    def test_history_scheme_requires_length(self):
+        with pytest.raises(ValueError):
+            IndexScheme("ghist", 8, history_bits=0)
+
+    def test_index_in_range(self):
+        scheme = IndexScheme("gshare", 6, history_bits=32)
+        for pc in range(100):
+            assert 0 <= scheme.index(pc, pc * 7, 0) < 64
+
+
+class TestGSelect:
+    def test_concatenates_pc_and_history(self):
+        scheme = IndexScheme("gselect", 8, history_bits=16)
+        # Low half = history bits, high half = PC hash.
+        a = scheme.index(0, 0b1010, 0)
+        assert a & 0b1111 == 0b1010
+        assert scheme.index(0, 0b1010, 0) != scheme.index(1, 0b1010, 0)
+
+    def test_composes_in_topology(self):
+        from repro.core import compose
+
+        predictor = compose("GSELECT2 > BTB2")
+        assert predictor.depth == 2
+        assert any(c.uses_global_history for c in predictor.components)

@@ -1,0 +1,142 @@
+"""Tests for the topology-notation parser."""
+
+import pytest
+
+from repro.components.library import standard_library
+from repro.core.parser import (
+    ComponentLibrary,
+    TopologyParseError,
+    parse_topology,
+)
+from repro.core.topology import Arbitrate, Leaf, Override
+
+
+@pytest.fixture()
+def library():
+    return standard_library()
+
+
+class TestPaperTopologies:
+    """Every topology string that appears in the paper must parse."""
+
+    def test_tage_l(self, library):
+        node = parse_topology("LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1", library)
+        assert isinstance(node, Override)
+        names = [c.name for c in node.components()]
+        assert names == ["ubtb", "bim", "btb", "tage", "loop"]
+
+    def test_b2(self, library):
+        node = parse_topology("GTAG3 > BTB2 > BIM2", library)
+        assert [c.name for c in node.components()] == ["bim", "btb", "gtag"]
+
+    def test_tournament(self, library):
+        node = parse_topology("TOURNEY3 > [GBIM2 > BTB2, LBIM2]", library)
+        assert isinstance(node, Arbitrate)
+        assert node.selector.name == "tourney"
+        assert len(node.children) == 2
+
+    def test_loop_over_tournament(self, library):
+        node = parse_topology("LOOP3 > TOURNEY3 > [GBIM2, LBIM2]", library)
+        assert isinstance(node, Override)
+        assert isinstance(node.lo, Arbitrate)
+
+    def test_loop_inside_arbitration_child(self, library):
+        node = parse_topology("TOURNEY3 > [(LOOP2 > GBIM2), LBIM2]", library)
+        assert isinstance(node.children[0], Override)
+
+    def test_section4_example_pipelines(self, library):
+        for spec in (
+            "LOOP2 > GSHARE2 > UBTB1",
+            "UBTB1 > GSHARE2 > LOOP2",
+            "TOURNEY3 > [GBIM2, (LOOP2 > LBIM2)]",
+        ):
+            parse_topology(spec, library)
+
+
+class TestLatencySuffix:
+    def test_latency_extracted(self, library):
+        node = parse_topology("TAGE4 > BIM2", library)
+        comps = {c.name: c for c in node.components()}
+        assert comps["tage"].latency == 4
+        assert comps["bim"].latency == 2
+
+    def test_missing_latency_rejected(self, library):
+        with pytest.raises(TopologyParseError):
+            parse_topology("TAGE > BIM2", library)
+
+    def test_duplicate_base_names_get_unique_instances(self, library):
+        node = parse_topology("BIM3 > BIM2", library)
+        names = [c.name for c in node.components()]
+        assert len(set(names)) == 2
+
+
+class TestErrors:
+    def test_unknown_component(self, library):
+        with pytest.raises(TopologyParseError, match="unknown component"):
+            parse_topology("WIZARD3 > BIM2", library)
+
+    def test_empty(self, library):
+        with pytest.raises(TopologyParseError):
+            parse_topology("", library)
+
+    def test_trailing_garbage(self, library):
+        with pytest.raises(TopologyParseError):
+            parse_topology("BIM2 BIM2", library)
+
+    def test_unclosed_bracket(self, library):
+        with pytest.raises(TopologyParseError):
+            parse_topology("TOURNEY3 > [GBIM2, LBIM2", library)
+
+    def test_single_child_arbitration_rejected(self, library):
+        with pytest.raises(Exception):
+            parse_topology("TOURNEY3 > [GBIM2]", library)
+
+    def test_stray_symbol(self, library):
+        with pytest.raises(TopologyParseError):
+            parse_topology("BIM2 > @", library)
+
+
+class TestLibrary:
+    def test_duplicate_registration_rejected(self):
+        lib = ComponentLibrary()
+        lib.register("X", lambda n, l: None)
+        with pytest.raises(ValueError):
+            lib.register("x", lambda n, l: None)
+
+    def test_with_params_overrides(self, library):
+        from repro.components.bimodal import HBIM
+
+        custom = library.with_params(
+            "BIM", lambda name, lat: HBIM(name, lat, n_sets=64)
+        )
+        node = parse_topology("BIM2", custom)
+        comp = next(node.components())
+        assert comp.n_sets == 64
+        # Original library unchanged.
+        node2 = parse_topology("BIM2", library)
+        assert next(node2.components()).n_sets != 64
+
+    def test_known_lists_registered(self, library):
+        known = library.known()
+        for base in ("TAGE", "BIM", "BTB", "UBTB", "LOOP", "TOURNEY", "GTAG"):
+            assert base in known
+
+    def test_factory_latency_mismatch_detected(self):
+        from repro.components.bimodal import HBIM
+
+        lib = ComponentLibrary()
+        lib.register("FIXED", lambda name, lat: HBIM(name, 2))
+        with pytest.raises(Exception):
+            parse_topology("FIXED3", lib)
+
+
+class TestDescribe:
+    def test_roundtrip(self, library):
+        for spec in (
+            "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+            "GTAG3 > BTB2 > BIM2",
+            "TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+        ):
+            node = parse_topology(spec, library)
+            reparsed = parse_topology(node.describe(), standard_library())
+            assert reparsed.describe() == node.describe()

@@ -1,0 +1,128 @@
+"""Property-based tests over the full stack.
+
+The heavyweight invariant: for *any* program our generator can produce, the
+speculative core must commit exactly the architectural instruction stream —
+speculation may cost cycles, never correctness.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import presets
+from repro.components.library import standard_library
+from repro.core import ComposerConfig, PreDecodedSlot, compose
+from repro.frontend import Core, CoreConfig
+from repro.isa import ProgramBuilder, run_program
+
+# ----------------------------------------------------------------------
+# Random-program generator: straight-line blocks + forward/backward
+# branches with bounded loop counts, always ending in HALT.
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def small_programs(draw):
+    """Programs made of counted loops and data-dependent hammocks."""
+    n_loops = draw(st.integers(1, 3))
+    b = ProgramBuilder("hyp")
+    b.li(1, draw(st.integers(1, 7)))  # data seed
+    for loop_idx in range(n_loops):
+        trip = draw(st.integers(1, 12))
+        counter = 2 + loop_idx  # r2..r4
+        b.li(counter, 0)
+        b.li(10, trip)
+        b.label(f"loop{loop_idx}")
+        n_body = draw(st.integers(0, 3))
+        for instr_idx in range(n_body):
+            kind = draw(st.integers(0, 2))
+            if kind == 0:
+                b.addi(5, 5, 1)
+            elif kind == 1:
+                b.xori(1, 1, draw(st.integers(0, 15)))
+            else:
+                # data-dependent short forward branch
+                b.andi(6, 1, 1 << draw(st.integers(0, 3)))
+                b.beq(6, 0, f"skip{loop_idx}_{instr_idx}")
+                b.addi(7, 7, 1)
+                b.label(f"skip{loop_idx}_{instr_idx}")
+        b.addi(counter, counter, 1)
+        b.blt(counter, 10, f"loop{loop_idx}")
+    b.halt()
+    return b.build()
+
+
+class TestCoreCorrectnessProperty:
+    @settings(max_examples=25, deadline=None)
+    @given(small_programs(), st.sampled_from(["tage_l", "b2", "tourney"]))
+    def test_commits_exactly_the_oracle_stream(self, program, preset):
+        oracle_len = len(run_program(program))
+        stats = Core(program, presets.build(preset), CoreConfig()).run(
+            max_cycles=100_000
+        )
+        assert stats.committed_instructions == oracle_len
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_programs())
+    def test_sfb_mode_preserves_architectural_count(self, program):
+        oracle_len = len(run_program(program))
+        stats = Core(
+            program, presets.build("tage_l"), CoreConfig(sfb_enabled=True)
+        ).run(max_cycles=100_000)
+        assert stats.committed_instructions == oracle_len
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_programs())
+    def test_mispredicts_never_exceed_branches(self, program):
+        stats = Core(program, presets.build("b2"), CoreConfig()).run(
+            max_cycles=100_000
+        )
+        assert stats.branch_mispredicts <= stats.committed_branches
+
+
+class TestComposerProtocolProperty:
+    """Drive a composed predictor with random packet/resolve sequences; the
+    history file must never leak entries and histories must stay in range."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 63),   # fetch pc
+                st.booleans(),        # packet has a branch at slot 0
+                st.booleans(),        # resolved direction
+                st.booleans(),        # mispredict?
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_predict_resolve_commit_never_leaks(self, events):
+        lib = standard_library(global_history_bits=16)
+        pred = compose("GSHARE2", lib, ComposerConfig(global_history_bits=16))
+        for fetch_pc, has_branch, taken, mispredict in events:
+            fetch_pc -= fetch_pc % 4
+            slots = [
+                PreDecodedSlot(is_cond_branch=has_branch, direct_target=0)
+            ] + [PreDecodedSlot()] * 3
+            result = pred.predict(fetch_pc, slots)
+            if has_branch and mispredict:
+                predicted = result.final.slots[0].taken
+                pred.resolve_mispredict(
+                    result.ftq_id, 0, not predicted,
+                    0 if not predicted else None,
+                )
+            pred.commit_packet(result.ftq_id)
+            assert len(pred.history_file) == 0
+            assert 0 <= pred._global.read() < (1 << 16)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(1, 6), st.integers(0, 2))
+    def test_squash_restores_history_exactly(self, n_younger, keep_extra):
+        lib = standard_library(global_history_bits=32)
+        pred = compose("GSHARE2", lib, ComposerConfig(global_history_bits=32))
+        br = [PreDecodedSlot(is_cond_branch=True, direct_target=0)] + [PreDecodedSlot()] * 3
+        anchor = pred.predict(0, br)
+        checkpoint = pred._global.read()
+        for i in range(n_younger):
+            pred.predict((i + 1) * 4, br)
+        pred.squash_after(anchor.ftq_id)
+        assert pred._global.read() == checkpoint

@@ -1,0 +1,165 @@
+"""Tests for the TAGE sub-component."""
+
+import pytest
+
+from repro.components.tage import (
+    TAGE,
+    TageTableConfig,
+    default_tables,
+    geometric_history_lengths,
+)
+from repro.core.events import PredictRequest, UpdateBundle
+from repro.core.prediction import PredictionVector
+
+
+def lookup(tage, pc=0, ghist=0, width=4, base_taken=False):
+    base = PredictionVector.fallthrough(pc, width)
+    for slot in base.slots:
+        slot.hit = True
+        slot.taken = base_taken
+    return tage.lookup(PredictRequest(pc, width, ghist), [base])
+
+
+def commit(tage, pc, slot, taken, meta, ghist=0, mispredicted=False, width=4):
+    br_mask = tuple(i == slot for i in range(width))
+    taken_mask = tuple(taken if i == slot else False for i in range(width))
+    tage.on_update(
+        UpdateBundle(
+            fetch_pc=pc,
+            width=width,
+            ghist=ghist,
+            meta=meta,
+            br_mask=br_mask,
+            taken_mask=taken_mask,
+            cfi_idx=slot if taken else None,
+            cfi_taken=taken,
+            cfi_is_br=True,
+            mispredicted=mispredicted,
+            mispredict_idx=slot if mispredicted else None,
+        )
+    )
+
+
+def small_tage(n_tables=4):
+    tables = [
+        TageTableConfig(n_sets=64, history_bits=h, tag_bits=8)
+        for h in geometric_history_lengths(n_tables, 4, 24)
+    ]
+    return TAGE("tage", tables=tables)
+
+
+class TestGeometry:
+    def test_geometric_lengths_monotonic(self):
+        lengths = geometric_history_lengths(7, 4, 64)
+        assert lengths[0] == 4 and lengths[-1] == 64
+        assert all(b > a for a, b in zip(lengths, lengths[1:]))
+
+    def test_single_table(self):
+        assert geometric_history_lengths(1, 5, 64) == [5]
+
+    def test_default_tables(self):
+        tables = default_tables()
+        assert len(tables) == 7
+        assert tables[-1].history_bits == 64
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            TAGE("t", tables=[TageTableConfig(100, 8, 8)])
+
+
+class TestPredictAllocate:
+    def test_cold_tage_passes_through(self):
+        tage = small_tage()
+        out, meta = lookup(tage, base_taken=True)
+        assert out.slots[0].taken  # base prediction untouched
+        fields = tage._codec.unpack(meta)
+        assert fields["provider_valid"] == 0
+
+    def test_allocates_on_mispredict(self):
+        tage = small_tage()
+        _, meta = lookup(tage, pc=0, ghist=0b1011)
+        commit(tage, 0, 0, True, meta, ghist=0b1011, mispredicted=True)
+        _, meta2 = lookup(tage, pc=0, ghist=0b1011)
+        fields = tage._codec.unpack(meta2)
+        assert fields["provider_valid"] == 1
+
+    def test_no_allocation_without_mispredict(self):
+        tage = small_tage()
+        _, meta = lookup(tage, pc=0, ghist=0b1011)
+        commit(tage, 0, 0, True, meta, ghist=0b1011, mispredicted=False)
+        _, meta2 = lookup(tage, pc=0, ghist=0b1011)
+        assert tage._codec.unpack(meta2)["provider_valid"] == 0
+
+    def test_provider_prediction_follows_training(self):
+        tage = small_tage()
+        ghist = 0b110010
+        _, meta = lookup(tage, ghist=ghist)
+        commit(tage, 0, 0, True, meta, ghist=ghist, mispredicted=True)
+        for _ in range(3):
+            _, meta = lookup(tage, ghist=ghist)
+            commit(tage, 0, 0, True, meta, ghist=ghist)
+        out, _ = lookup(tage, ghist=ghist)
+        assert out.slots[0].taken
+
+    def test_different_history_different_entry(self):
+        tage = small_tage()
+        for ghist, taken in ((0b1111, True), (0b0000, False)):
+            _, meta = lookup(tage, ghist=ghist)
+            commit(tage, 0, 0, taken, meta, ghist=ghist, mispredicted=True)
+            for _ in range(3):
+                _, meta = lookup(tage, ghist=ghist)
+                commit(tage, 0, 0, taken, meta, ghist=ghist)
+        out_t, _ = lookup(tage, ghist=0b1111)
+        out_n, _ = lookup(tage, ghist=0b0000)
+        assert out_t.slots[0].taken
+        assert not out_n.slots[0].taken
+
+    def test_pattern_learned_via_history(self):
+        """The canonical check: a periodic pattern becomes ~perfect."""
+        tage = small_tage()
+        pattern = [True, True, False, True, False, False, True, False]
+        ghist = 0
+        misses = 0
+        for i in range(1200):
+            taken = pattern[i % len(pattern)]
+            out, meta = lookup(tage, ghist=ghist)
+            predicted = out.slots[0].taken
+            wrong = predicted != taken
+            if i >= 600:
+                misses += wrong
+            commit(tage, 0, 0, taken, meta, ghist=ghist, mispredicted=wrong)
+            ghist = ((ghist << 1) | int(taken)) & ((1 << 64) - 1)
+        assert misses <= 5
+
+    def test_u_decay_runs(self):
+        tage = small_tage()
+        tage.u_decay_period = 8
+        for i in range(20):
+            _, meta = lookup(tage, ghist=i)
+            commit(tage, 0, 0, True, meta, ghist=i, mispredicted=True)
+        # just exercising the decay path; all u values remain in range
+        for table in range(len(tage.tables)):
+            assert (tage._useful[table] <= 3).all()
+
+
+class TestMeta:
+    def test_meta_fits_declared_width(self):
+        tage = small_tage()
+        _, meta = lookup(tage)
+        assert meta <= (1 << tage.meta_bits) - 1
+
+    def test_reset_clears_tables(self):
+        tage = small_tage()
+        _, meta = lookup(tage, ghist=3)
+        commit(tage, 0, 0, True, meta, ghist=3, mispredicted=True)
+        tage.reset()
+        _, meta2 = lookup(tage, ghist=3)
+        assert tage._codec.unpack(meta2)["provider_valid"] == 0
+
+    def test_storage_scales_with_tables(self):
+        small = small_tage(n_tables=2).storage().total_bits
+        large = small_tage(n_tables=6).storage().total_bits
+        assert large > small
+
+    def test_uses_global_history_declared(self):
+        assert small_tage().uses_global_history

@@ -1,0 +1,172 @@
+"""Unit and property tests for the bit-manipulation utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._util import (
+    counter_is_weak,
+    counter_taken,
+    fold_history,
+    hash_combine,
+    hash_pc,
+    is_power_of_two,
+    log2_exact,
+    mask,
+    popcount,
+    saturating_update,
+    shift_in,
+    sign_extend,
+    truncate,
+)
+
+
+class TestMask:
+    def test_small_masks(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(3) == 0b111
+        assert mask(8) == 0xFF
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    def test_truncate(self):
+        assert truncate(0x1234, 8) == 0x34
+        assert truncate(0xFF, 0) == 0
+
+
+class TestFoldHistory:
+    def test_zero_fold_width(self):
+        assert fold_history(0b1010, 4, 0) == 0
+
+    def test_identity_when_fits(self):
+        assert fold_history(0b1010, 4, 4) == 0b1010
+
+    def test_two_chunk_xor(self):
+        # 8-bit history 0b1100_0101 folded to 4: 0b1100 ^ 0b0101.
+        assert fold_history(0b11000101, 8, 4) == 0b1100 ^ 0b0101
+
+    def test_truncates_history_first(self):
+        assert fold_history(0b111100001111, 4, 4) == 0b1111
+
+    def test_zero_history(self):
+        assert fold_history(0, 64, 10) == 0
+
+    @given(st.integers(0, 2**64 - 1), st.integers(1, 64), st.integers(1, 16))
+    def test_result_fits_width(self, history, hist_bits, fold_bits):
+        assert 0 <= fold_history(history, hist_bits, fold_bits) <= mask(fold_bits)
+
+    @given(st.integers(0, 2**64 - 1), st.integers(1, 16))
+    def test_deterministic(self, history, fold_bits):
+        a = fold_history(history, 64, fold_bits)
+        b = fold_history(history, 64, fold_bits)
+        assert a == b
+
+    @given(st.integers(0, 2**32 - 1), st.integers(0, 2**32 - 1), st.integers(1, 12))
+    def test_xor_distributes(self, h1, h2, fold_bits):
+        """Folding is linear over XOR, like the hardware CSR fold."""
+        assert fold_history(h1 ^ h2, 32, fold_bits) == fold_history(
+            h1, 32, fold_bits
+        ) ^ fold_history(h2, 32, fold_bits)
+
+
+class TestHashes:
+    def test_hash_pc_width(self):
+        for pc in (0, 1, 12345, 2**40):
+            assert 0 <= hash_pc(pc, 10) <= mask(10)
+
+    def test_hash_pc_zero_bits(self):
+        assert hash_pc(1234, 0) == 0
+
+    def test_nearby_pcs_distinct(self):
+        values = {hash_pc(pc, 10) for pc in range(64)}
+        assert len(values) == 64  # shifted-XOR hash keeps low PCs distinct
+
+    def test_hash_combine(self):
+        assert hash_combine(0b1100, 0b1010, bits=4) == 0b0110
+
+
+class TestSaturatingCounters:
+    def test_increments_to_top(self):
+        c = 0
+        for _ in range(5):
+            c = saturating_update(c, True, 2)
+        assert c == 3
+
+    def test_decrements_to_zero(self):
+        c = 3
+        for _ in range(5):
+            c = saturating_update(c, False, 2)
+        assert c == 0
+
+    def test_taken_msb(self):
+        assert not counter_taken(0, 2)
+        assert not counter_taken(1, 2)
+        assert counter_taken(2, 2)
+        assert counter_taken(3, 2)
+
+    def test_weak_values(self):
+        assert counter_is_weak(1, 2)
+        assert counter_is_weak(2, 2)
+        assert not counter_is_weak(0, 2)
+        assert not counter_is_weak(3, 2)
+
+    def test_3bit_weak(self):
+        assert counter_is_weak(3, 3)
+        assert counter_is_weak(4, 3)
+        assert not counter_is_weak(7, 3)
+
+    @given(st.integers(0, 7), st.booleans())
+    def test_stays_in_range_3bit(self, counter, taken):
+        assert 0 <= saturating_update(counter, taken, 3) <= 7
+
+    @given(st.integers(0, 7), st.booleans())
+    def test_moves_toward_outcome(self, counter, taken):
+        updated = saturating_update(counter, taken, 3)
+        if taken:
+            assert updated >= counter
+        else:
+            assert updated <= counter
+
+
+class TestSignExtend:
+    def test_positive(self):
+        assert sign_extend(0b011, 3) == 3
+
+    def test_negative(self):
+        assert sign_extend(0b100, 3) == -4
+        assert sign_extend(0b111, 3) == -1
+
+    @given(st.integers(-128, 127))
+    def test_roundtrip_8bit(self, value):
+        assert sign_extend(value & 0xFF, 8) == value
+
+
+class TestShiftIn:
+    def test_shift_and_truncate(self):
+        assert shift_in(0b101, True, 3) == 0b011
+        assert shift_in(0b101, False, 3) == 0b010
+
+    @given(st.integers(0, 2**16 - 1), st.booleans())
+    def test_lsb_is_outcome(self, history, taken):
+        assert shift_in(history, taken, 16) & 1 == int(taken)
+
+
+class TestPowersOfTwo:
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(1024) == 10
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(24)
+
+    def test_is_power_of_two(self):
+        assert is_power_of_two(64)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(12)
+
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3

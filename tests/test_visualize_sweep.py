@@ -1,0 +1,89 @@
+"""Tests for the pipeline visualizer and the design-space sweep."""
+
+import pytest
+
+from repro import presets
+from repro.core import render_pipeline, render_timing
+from repro.eval import evaluate_designs, format_points, pareto_frontier
+from repro.eval.sweep import DesignPoint
+from repro.workloads import build_specint
+
+
+class TestRenderPipeline:
+    def test_contains_all_components(self):
+        text = render_pipeline(presets.tage_l())
+        for name in ("ubtb", "bim", "btb", "tage", "loop"):
+            assert name in text
+
+    def test_respond_stage_matches_latency(self):
+        text = render_pipeline(presets.b2())
+        for line in text.splitlines():
+            if line.startswith("gtag"):
+                # gtag responds at F3 (third stage column).
+                assert line.split().index("respond") == 3
+
+    def test_final_row_progression(self):
+        """Fig. 7: the uBTB provides Fetch-1; the topology head, Fetch-3."""
+        text = render_pipeline(presets.tage_l())
+        final = [l for l in text.splitlines() if l.startswith("final:")][0]
+        assert "ubtb" in final
+        assert "loop" in final
+
+    def test_arbitration_renders(self):
+        text = render_pipeline(presets.tourney())
+        assert "tourney" in text
+
+    def test_timing_diagram(self):
+        text = render_timing(3)
+        assert "query" in text and "hist" in text and "pred" in text
+
+    def test_timing_latency_one(self):
+        text = render_timing(1)
+        assert "pred" in text
+
+    def test_timing_invalid(self):
+        with pytest.raises(ValueError):
+            render_timing(0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        programs = {"xz": build_specint("xz", scale=0.12)}
+        designs = {
+            "b2": lambda: presets.build("b2"),
+            "tage_l": lambda: presets.build("tage_l"),
+            "tage_small": lambda: presets.build("tage_l", tage_sets=128),
+        }
+        return evaluate_designs(designs, programs)
+
+    def test_points_have_metrics(self, points):
+        for p in points:
+            assert p.area_um2 > 0
+            assert 0 < p.mean_accuracy <= 1
+            assert "xz" in p.per_workload_mpki
+
+    def test_pareto_frontier_nonempty_subset(self, points):
+        frontier = pareto_frontier(points)
+        assert frontier
+        assert set(p.name for p in frontier) <= set(p.name for p in points)
+        # Frontier is sorted by area and no frontier point dominates another.
+        areas = [p.area_um2 for p in frontier]
+        assert areas == sorted(areas)
+        for a in frontier:
+            for b in frontier:
+                if a is not b:
+                    assert not a.dominates(b) or not b.dominates(a)
+
+    def test_dominance_semantics(self):
+        small_good = DesignPoint("a", "", 1.0, 1.0, 0.99, 100.0, 1.0, {})
+        big_bad = DesignPoint("b", "", 2.0, 0.9, 0.95, 200.0, 2.0, {})
+        assert small_good.dominates(big_bad)
+        assert not big_bad.dominates(small_good)
+        frontier = pareto_frontier([small_good, big_bad])
+        assert [p.name for p in frontier] == ["a"]
+
+    def test_format_points(self, points):
+        text = format_points(points)
+        assert "topology" in text
+        assert "b2" in text

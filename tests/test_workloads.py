@@ -1,0 +1,192 @@
+"""Tests for the workload generators and benchmark programs."""
+
+import pytest
+
+from repro.isa import Interpreter, Opcode
+from repro.workloads import (
+    SPECINT_NAMES,
+    build_coremark,
+    build_dhrystone,
+    build_specint,
+)
+from repro.workloads.generators import (
+    DataAllocator,
+    WorkloadBuilder,
+    emit_correlated,
+    emit_data_branches,
+    emit_dense_branches,
+    emit_hammock,
+    emit_lcg_branches,
+    emit_linked_list,
+    emit_nested_loops,
+    emit_recursive,
+    emit_stream,
+    emit_string_ops,
+    emit_switch,
+    estimate_dynamic_length,
+)
+
+ALL_KERNELS = [
+    emit_stream,
+    emit_data_branches,
+    emit_lcg_branches,
+    emit_correlated,
+    emit_nested_loops,
+    emit_linked_list,
+    emit_switch,
+    emit_recursive,
+    emit_dense_branches,
+    emit_hammock,
+    emit_string_ops,
+]
+
+
+def run_kernel(emit_fn, outer=3, **params):
+    w = WorkloadBuilder("t", seed=3)
+    w.add(emit_fn, **params)
+    program = w.build(outer)
+    interp = Interpreter(program)
+    trace = list(interp.run(500_000))
+    assert trace[-1].instr.op is Opcode.HALT, "kernel must run to completion"
+    return program, trace, interp
+
+
+class TestKernels:
+    @pytest.mark.parametrize("emit_fn", ALL_KERNELS)
+    def test_kernel_halts(self, emit_fn):
+        run_kernel(emit_fn)
+
+    def test_stream_sums_array(self):
+        program, trace, interp = run_kernel(emit_stream, outer=1, n=16)
+        data_sum = sum(
+            v for addr, v in program.data.items() if addr < 100_000 + 16
+        )
+        stored = [v for addr, v in interp.memory.items() if addr == 100_000 + 16]
+        assert stored == [data_sum]
+
+    def test_data_branches_bias(self):
+        _, trace, _ = run_kernel(emit_data_branches, outer=1, n=200, bias=0.8)
+        branches = [r for r in trace if r.instr.op is Opcode.BEQ]
+        # beq tests a[i] == 0: with bias 0.8, ~20% of elements are zero.
+        taken = sum(r.taken for r in branches)
+        assert taken < len(branches) * 0.4
+
+    def test_lcg_state_persists_across_calls(self):
+        _, trace, interp = run_kernel(emit_lcg_branches, outer=2, n=8)
+        state_addr = 100_000
+        assert interp.memory[state_addr] != 0
+
+    def test_lcg_outcomes_differ_between_iterations(self):
+        _, trace, _ = run_kernel(emit_lcg_branches, outer=2, n=32)
+        branch_pc = None
+        outcomes = []
+        for r in trace:
+            if r.instr.op is Opcode.BLT and r.instr.rs2 == 7:
+                branch_pc = branch_pc or r.pc
+                if r.pc == branch_pc:
+                    outcomes.append(r.taken)
+        half = len(outcomes) // 2
+        assert outcomes[:half] != outcomes[half:]
+
+    def test_correlated_pattern_repeats(self):
+        program, trace, _ = run_kernel(emit_correlated, outer=1, n=32, period=4)
+        branches = [r.taken for r in trace if r.instr.op is Opcode.BNE]
+        assert branches[:4] == branches[4:8] == branches[8:12]
+
+    def test_nested_loop_iteration_count(self):
+        _, trace, interp = run_kernel(emit_nested_loops, outer=1, trips=(2, 3, 4))
+        assert interp.regs[4] == 2 * 3 * 4
+
+    def test_linked_list_visits_all_nodes(self):
+        _, trace, _ = run_kernel(emit_linked_list, outer=1, n_nodes=12, spread=2)
+        loads = [r for r in trace if r.instr.op is Opcode.LD]
+        # two loads per node (value + next)
+        assert len(loads) == 24
+
+    def test_switch_dispatches_indirect(self):
+        _, trace, _ = run_kernel(emit_switch, outer=1, n=10, n_cases=4)
+        indirect = [r for r in trace if r.instr.op is Opcode.JALR and r.instr.rs1 != 15]
+        assert len(indirect) == 10
+
+    def test_recursion_depth(self):
+        _, trace, _ = run_kernel(emit_recursive, outer=1, depth=5)
+        calls = [r for r in trace if r.instr.is_call]
+        assert len(calls) >= 6  # entry + 5 recursive
+        rets = [r for r in trace if r.instr.is_ret]
+        assert len(rets) == len(calls)  # every call returns
+
+    def test_hammock_branches_are_sfb_shaped(self):
+        program, _, _ = run_kernel(emit_hammock, outer=1, n=8)
+        sfbs = [
+            pc
+            for pc, instr in enumerate(program.instructions)
+            if instr.forward_distance(pc) is not None
+            and instr.forward_distance(pc) <= 3
+        ]
+        assert sfbs
+
+
+class TestWorkloadBuilder:
+    def test_requires_kernels(self):
+        with pytest.raises(ValueError):
+            WorkloadBuilder("empty").build(1)
+
+    def test_outer_iterations_scale_length(self):
+        def build(outer):
+            w = WorkloadBuilder("t", seed=1)
+            w.add(emit_stream, n=16)
+            return w.build(outer)
+
+        short = estimate_dynamic_length(build(2))
+        long = estimate_dynamic_length(build(6))
+        assert long > 2.5 * short
+
+    def test_allocator_no_overlap(self):
+        alloc = DataAllocator()
+        a = alloc.alloc(10)
+        b = alloc.alloc(10)
+        assert b >= a + 10
+
+
+class TestBenchmarkSuite:
+    @pytest.mark.parametrize("name", SPECINT_NAMES)
+    def test_specint_builds_and_halts(self, name):
+        program = build_specint(name, scale=0.1)
+        length = estimate_dynamic_length(program)
+        assert length > 500
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_specint("nonesuch")
+
+    def test_dhrystone_and_coremark(self):
+        for program in (build_dhrystone(scale=0.1), build_coremark(scale=0.1)):
+            assert estimate_dynamic_length(program) > 500
+
+    def test_deterministic_given_seed(self):
+        a = build_specint("xz", scale=0.1)
+        b = build_specint("xz", scale=0.1)
+        assert a.instructions == b.instructions
+        assert a.data == b.data
+
+    def test_scale_changes_length(self):
+        short = estimate_dynamic_length(build_specint("mcf", scale=0.1))
+        longer = estimate_dynamic_length(build_specint("mcf", scale=0.3))
+        assert longer > 2 * short
+
+    def test_benchmarks_have_distinct_characters(self):
+        """exchange2 (loopy) must have a lower hard-branch share than
+        deepsjeng (search)."""
+        from repro.isa import run_program
+
+        def taken_rate_variability(name):
+            trace = run_program(build_specint(name, scale=0.08))
+            outcomes = {}
+            for r in trace:
+                if r.instr.is_cond_branch:
+                    outcomes.setdefault(r.pc, []).append(r.taken)
+            # fraction of branch sites with mixed outcomes
+            mixed = sum(1 for v in outcomes.values() if 0 < sum(v) < len(v))
+            return mixed / len(outcomes)
+
+        assert taken_rate_variability("deepsjeng") >= taken_rate_variability("exchange2")
