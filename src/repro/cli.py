@@ -71,7 +71,9 @@ def _cmd_sweep(args) -> int:
         else args.workloads
     )
     programs = {name: _build_workload(name, args.scale) for name in names}
-    results = run_suite(args.predictors, programs)
+    results = run_suite(
+        args.predictors, programs, jobs=args.jobs, cache=args.cache
+    )
     mpki = {s: {w: r.mpki for w, r in rows.items()} for s, rows in results.items()}
     ipc = {s: {w: r.ipc for w, r in rows.items()} for s, rows in results.items()}
     for system in results:
@@ -151,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["tourney", "b2", "tage_l"])
     sweep.add_argument("--workloads", nargs="+", default=["all"])
     sweep.add_argument("--scale", type=float, default=0.3)
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the (predictor, workload) "
+                            "matrix (1 = serial)")
+    sweep.add_argument("--cache", default=None, metavar="DIR",
+                       help="directory for the deterministic result cache "
+                            "(off when omitted)")
     sweep.set_defaults(func=_cmd_sweep)
 
     area = sub.add_parser("area", help="area breakdown of a predictor")

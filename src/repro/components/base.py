@@ -51,38 +51,53 @@ class MetaCodec:
             self._offsets[name] = (offset, bits, count)
             offset += bits * count
         self.width = offset
+        # pack/unpack run once per component per prediction — the layout
+        # (including each field's lane mask) is flattened ahead of time so
+        # the hot loops do no dict lookups or mask arithmetic.
+        self._layout = [
+            (name, bits, count, self._offsets[name][0], mask(bits))
+            for name, bits, count in self._fields
+        ]
 
     def pack(self, **values) -> int:
         meta = 0
-        for name, bits, count in self._fields:
+        for name, bits, count, offset, lane_mask in self._layout:
             value = values.pop(name, 0)
-            lanes = value if count > 1 else [value]
-            if len(lanes) != count:
-                raise ValueError(
-                    f"field {name!r} expects {count} lanes, got {len(lanes)}"
-                )
-            offset, _, _ = self._offsets[name]
-            for lane_value in lanes:
-                lane_int = int(lane_value)
-                if lane_int < 0 or lane_int > mask(bits):
+            if count == 1:
+                lane_int = int(value)
+                if lane_int < 0 or lane_int > lane_mask:
                     raise ValueError(
                         f"field {name!r}: value {lane_int} exceeds {bits} bits"
                     )
                 meta |= lane_int << offset
-                offset += bits
+            else:
+                if len(value) != count:
+                    raise ValueError(
+                        f"field {name!r} expects {count} lanes, got {len(value)}"
+                    )
+                for lane_value in value:
+                    lane_int = int(lane_value)
+                    if lane_int < 0 or lane_int > lane_mask:
+                        raise ValueError(
+                            f"field {name!r}: value {lane_int} exceeds {bits} bits"
+                        )
+                    meta |= lane_int << offset
+                    offset += bits
         if values:
             raise ValueError(f"unknown metadata fields: {sorted(values)}")
         return meta
 
     def unpack(self, meta: int) -> Dict[str, Union[int, List[int]]]:
         out: Dict[str, Union[int, List[int]]] = {}
-        for name, bits, count in self._fields:
-            offset, _, _ = self._offsets[name]
-            lanes = []
-            for _ in range(count):
-                lanes.append((meta >> offset) & mask(bits))
-                offset += bits
-            out[name] = lanes if count > 1 else lanes[0]
+        for name, bits, count, offset, lane_mask in self._layout:
+            if count == 1:
+                out[name] = (meta >> offset) & lane_mask
+            else:
+                lanes = []
+                for _ in range(count):
+                    lanes.append((meta >> offset) & lane_mask)
+                    offset += bits
+                out[name] = lanes
         return out
 
 

@@ -77,18 +77,20 @@ class HBIM(PredictorComponent):
     def lookup(
         self, req: PredictRequest, predict_in: Sequence[PredictionVector]
     ) -> Tuple[PredictionVector, int]:
-        row = self._table[self._index(req.fetch_pc, req.ghist, req.lhist, req.phist)]
+        row = self._table[
+            self._index(req.fetch_pc, req.ghist, req.lhist, req.phist)
+        ].tolist()
         out = predict_in[0].copy()
         offset = req.fetch_pc % self.fetch_width
         for slot_idx, slot in enumerate(out.slots):
-            counter = int(row[offset + slot_idx])
+            counter = row[offset + slot_idx]
             # An untagged table provides a base direction for every slot; it
             # does not know branch locations or targets, so those fields pass
             # through from predict_in (§III-F).
             slot.hit = True
             if not slot.is_jump:
                 slot.taken = counter_taken(counter, self.counter_bits)
-        meta = self._codec.pack(ctr=[int(c) for c in row])
+        meta = self._codec.pack(ctr=row)
         return out, meta
 
     # ------------------------------------------------------------------

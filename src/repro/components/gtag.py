@@ -86,7 +86,7 @@ class GTag(PredictorComponent):
                 slot.taken = counter_taken(
                     int(row[offset + slot_idx]), self.counter_bits
                 )
-        meta = self._codec.pack(hit=int(hit), ctr=[int(c) for c in row])
+        meta = self._codec.pack(hit=int(hit), ctr=row.tolist())
         return out, meta
 
     # ------------------------------------------------------------------

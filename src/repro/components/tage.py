@@ -195,14 +195,15 @@ class TAGE(PredictorComponent):
             provider, p_index = hits[-1]
             provider_valid = 1
             row = self._ctrs[provider][p_index]
-            provider_ctr = [int(c) for c in row]
+            provider_ctr = row.tolist()
             provider_u = int(self._useful[provider][p_index])
             if len(hits) > 1:
                 alt, a_index = hits[-2]
                 alt_valid = 1
                 alt_row = self._ctrs[alt][a_index]
                 alt_taken = [
-                    counter_taken(int(c), self.counter_bits) for c in alt_row
+                    counter_taken(c, self.counter_bits)
+                    for c in alt_row.tolist()
                 ]
             for slot_idx, slot in enumerate(out.slots):
                 if slot.is_jump:

@@ -98,7 +98,7 @@ class Tourney(PredictorComponent):
                 )
                 slot.is_branch = chosen.is_branch or other.is_branch
         meta = self._codec.pack(
-            choice=[int(c) for c in row],
+            choice=row.tolist(),
             a_taken=[int(s.hit and s.taken) for s in _padded(first, self.fetch_width, offset)],
             b_taken=[int(s.hit and s.taken) for s in _padded(second, self.fetch_width, offset)],
         )

@@ -49,31 +49,17 @@ from repro.core.history import (
 from repro.core.history_file import HistoryFile, HistoryFileEntry
 from repro.core.interface import InterfaceError, PredictorComponent, StorageReport
 from repro.core.parser import ComponentLibrary, parse_topology
-from repro.core.prediction import PredictionVector, packet_span
+from repro.core.prediction import (  # noqa: F401  (PreDecodedSlot re-exported)
+    PredictionVector,
+    PreDecodedSlot,
+    packet_span,
+)
 from repro.core.repair import RepairStateMachine, bundle_from_entry
-from repro.core.topology import TopologyNode, validate_topology
-
-
-@dataclass(frozen=True)
-class PreDecodedSlot:
-    """Instruction-kind information for one slot, known by Fetch-3.
-
-    ``is_sfb`` marks short-forwards branches the decoder converts to
-    predicated micro-ops (§VI-C): they are invisible to the predictor.
-    """
-
-    valid: bool = True
-    is_cond_branch: bool = False
-    is_jal: bool = False
-    is_jalr: bool = False
-    is_call: bool = False
-    is_ret: bool = False
-    direct_target: Optional[int] = None
-    is_sfb: bool = False
-
-    @property
-    def is_cfi(self) -> bool:
-        return (self.is_cond_branch and not self.is_sfb) or self.is_jal or self.is_jalr
+from repro.core.topology import (
+    TopologyNode,
+    _shared_fallthrough,
+    validate_topology,
+)
 
 
 @dataclass
@@ -184,6 +170,18 @@ class ComposedPredictor:
             self.config.repair_walk_width,
         )
         self.stats = ComposerStats()
+        # Most components leave the speculative-update hooks as the
+        # base-class no-ops; cloning a bundle per component per packet just
+        # to call them dominates the fire loop.  Dispatch events only to
+        # components that actually override the hook.
+        self._fire_components = tuple(
+            c for c in self.components if type(c).fire is not PredictorComponent.fire
+        )
+        self._mispredict_components = tuple(
+            c
+            for c in self.components
+            if type(c).on_mispredict is not PredictorComponent.on_mispredict
+        )
         # No-replay staleness window state (§VI-B).
         self._stale_queries_remaining = 0
         self._stale_ghist = 0
@@ -233,7 +231,7 @@ class ComposedPredictor:
         metas: Dict[str, int] = {}
         staged_raw = self.topology.evaluate(req, self.depth, metas)
         staged = [
-            vector if vector is not None else PredictionVector.fallthrough(fetch_pc, width)
+            vector if vector is not None else _shared_fallthrough(fetch_pc, width)
             for vector in staged_raw
         ]
 
@@ -274,9 +272,10 @@ class ComposedPredictor:
             cfi_is_jalr=bool(cfi_idx is not None and slots[cfi_idx].is_jalr),
         )
 
-        fire_bundle = bundle_from_entry(entry)
-        for component in self.components:
-            component.fire(fire_bundle.with_meta(metas[component.name]))
+        if self._fire_components:
+            fire_bundle = bundle_from_entry(entry)
+            for component in self._fire_components:
+                component.fire(fire_bundle.with_meta(metas[component.name]))
 
         outcomes = [taken_mask[i] for i in range(width) if br_mask[i]]
         self._global.speculate(outcomes)
@@ -456,10 +455,11 @@ class ComposedPredictor:
             self._stale_ghist = corrupted_ghist
             self._stale_queries_remaining = self.config.ghist_corruption_window
 
-        bundle = bundle_from_entry(entry, mispredicted=True)
-        for component in self.components:
-            meta = entry.metas.get(component.name, 0)
-            component.on_mispredict(bundle.with_meta(meta))
+        if self._mispredict_components:
+            bundle = bundle_from_entry(entry, mispredicted=True)
+            for component in self._mispredict_components:
+                meta = entry.metas.get(component.name, 0)
+                component.on_mispredict(bundle.with_meta(meta))
 
         if is_direction_mispredict:
             self.stats.direction_mispredicts += 1

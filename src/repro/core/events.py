@@ -90,22 +90,12 @@ class UpdateBundle:
     mispredict_idx: Optional[int] = None
 
     def with_meta(self, meta: int) -> "UpdateBundle":
-        """A copy of this bundle carrying a specific component's metadata."""
-        return UpdateBundle(
-            fetch_pc=self.fetch_pc,
-            width=self.width,
-            ghist=self.ghist,
-            lhist=self.lhist,
-            phist=self.phist,
-            meta=meta,
-            br_mask=self.br_mask,
-            taken_mask=self.taken_mask,
-            cfi_idx=self.cfi_idx,
-            cfi_taken=self.cfi_taken,
-            cfi_target=self.cfi_target,
-            cfi_is_br=self.cfi_is_br,
-            cfi_is_jal=self.cfi_is_jal,
-            cfi_is_jalr=self.cfi_is_jalr,
-            mispredicted=self.mispredicted,
-            mispredict_idx=self.mispredict_idx,
-        )
+        """A copy of this bundle carrying a specific component's metadata.
+
+        Runs once per component per event, so it bypasses the generated
+        ``__init__`` and clones the instance dict directly.
+        """
+        clone = UpdateBundle.__new__(UpdateBundle)
+        clone.__dict__.update(self.__dict__)
+        clone.meta = meta
+        return clone

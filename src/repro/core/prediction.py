@@ -9,7 +9,11 @@ sub-components into per-stage *final* predictions (§IV-A).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Tuple
+
+from repro.isa.instructions import Instruction, Opcode
 
 
 def packet_span(fetch_pc: int, fetch_width: int) -> int:
@@ -20,6 +24,63 @@ def packet_span(fetch_pc: int, fetch_width: int) -> int:
     only the slots up to the next boundary.
     """
     return fetch_width - (fetch_pc % fetch_width)
+
+
+@dataclass(frozen=True)
+class PreDecodedSlot:
+    """Instruction-kind information for one slot, known by Fetch-3.
+
+    ``is_sfb`` marks short-forwards branches the decoder converts to
+    predicated micro-ops (§VI-C): they are invisible to the predictor.
+    """
+
+    valid: bool = True
+    is_cond_branch: bool = False
+    is_jal: bool = False
+    is_jalr: bool = False
+    is_call: bool = False
+    is_ret: bool = False
+    direct_target: Optional[int] = None
+    is_sfb: bool = False
+
+    @property
+    def is_cfi(self) -> bool:
+        return (self.is_cond_branch and not self.is_sfb) or self.is_jal or self.is_jalr
+
+
+#: Canonical slots for the two cases that dominate every instruction stream.
+INVALID_SLOT = PreDecodedSlot(valid=False)
+PLAIN_SLOT = PreDecodedSlot()
+
+
+@lru_cache(maxsize=65536)
+def predecode_slot(
+    instr: Optional[Instruction], is_sfb: bool = False
+) -> PreDecodedSlot:
+    """Pre-decode one fetched instruction into its slot-kind summary.
+
+    This is the single pre-decode rule shared by the cycle-level frontend
+    (:class:`repro.frontend.core.Core`) and the trace-driven simulator
+    (:class:`repro.eval.tracesim.TraceSimulator`), so the two evaluation
+    paths cannot diverge on instruction classification.  The function is
+    pure (``Instruction`` is a frozen value type) and memoized: the same
+    static instruction is re-decoded millions of times over a run, and the
+    cache also interns the returned slots so identical instructions share
+    one ``PreDecodedSlot`` instance.
+    """
+    if instr is None:
+        return INVALID_SLOT
+    if instr.is_cond_branch:
+        return PreDecodedSlot(
+            is_cond_branch=True, direct_target=instr.target, is_sfb=is_sfb
+        )
+    if instr.op is Opcode.JAL:
+        return PreDecodedSlot(
+            is_jal=True, is_call=instr.is_call, direct_target=instr.target
+        )
+    if instr.op is Opcode.JALR:
+        return PreDecodedSlot(is_jalr=True, is_ret=instr.is_ret)
+    return PLAIN_SLOT
 
 
 class SlotPrediction:
@@ -63,7 +124,15 @@ class SlotPrediction:
         self.target = target
 
     def copy(self) -> "SlotPrediction":
-        return SlotPrediction(self.hit, self.is_branch, self.is_jump, self.taken, self.target)
+        # The hottest allocation in a sweep (every component lookup copies
+        # its input vector): bypass __init__ and write the slots directly.
+        clone = SlotPrediction.__new__(SlotPrediction)
+        clone.hit = self.hit
+        clone.is_branch = self.is_branch
+        clone.is_jump = self.is_jump
+        clone.taken = self.taken
+        clone.target = self.target
+        return clone
 
     @property
     def redirects(self) -> bool:

@@ -47,6 +47,14 @@ class RepairStateMachine:
         if walk_width < 1:
             raise ValueError("repair walk width must be >= 1")
         self._components = components
+        # Only components overriding ``on_repair`` receive repair events;
+        # the base-class hook is a no-op, so skipping it per squashed entry
+        # is free and saves a bundle clone per component per walk step.
+        self._repair_components = tuple(
+            c
+            for c in components
+            if type(c).on_repair is not PredictorComponent.on_repair
+        )
         self._local_history = local_history
         self.walk_width = walk_width
         self.stats = RepairStats()
@@ -62,10 +70,11 @@ class RepairStateMachine:
             return 0
         for entry in reversed(squashed):
             self._local_history.restore(entry.lhist_index, entry.lhist_snapshot)
-            bundle = bundle_from_entry(entry)
-            for component in self._components:
-                meta = entry.metas.get(component.name, 0)
-                component.on_repair(bundle.with_meta(meta))
+            if self._repair_components:
+                bundle = bundle_from_entry(entry)
+                for component in self._repair_components:
+                    meta = entry.metas.get(component.name, 0)
+                    component.on_repair(bundle.with_meta(meta))
         cycles = math.ceil(len(squashed) / self.walk_width)
         self.stats.walks += 1
         self.stats.entries_repaired += len(squashed)

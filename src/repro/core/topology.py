@@ -24,6 +24,7 @@ This is the semantic core of the COBRA composer.
 from __future__ import annotations
 
 import abc
+from functools import lru_cache
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.events import PredictRequest
@@ -43,9 +44,16 @@ def merge_by_hit(
     This is the control-flow-redirection multiplexing the composer generates
     between ordered sub-components (§IV-B): the higher-priority prediction
     provides the final prediction in any cycle where it exists.
+
+    The merged vector aliases the input slots instead of copying them: every
+    consumer that mutates slot predictions (component ``lookup``
+    implementations and ``_apply_predecode``) copies the whole vector first,
+    so merged outputs are read-only and sharing is safe.  This runs once per
+    override edge per fetch packet, making it one of the hottest allocation
+    sites in a sweep.
     """
     slots = [
-        (w if w.hit else f).copy()
+        (w if w.hit else f)
         for w, f in zip(winner.slots, fallback.slots)
     ]
     return PredictionVector(winner.fetch_pc, slots)
@@ -76,6 +84,16 @@ class TopologyNode(abc.ABC):
         return self.describe()
 
 
+@lru_cache(maxsize=65536)
+def _shared_fallthrough(fetch_pc: int, width: int) -> PredictionVector:
+    """A canonical fall-through vector for default predict_in wiring.
+
+    Safe to share across queries: every consumer that mutates slot
+    predictions copies the vector first, so these defaults are read-only.
+    """
+    return PredictionVector.fallthrough(fetch_pc, width)
+
+
 def _first_available(
     staged: StagedVectors, stage: int, req: PredictRequest
 ) -> PredictionVector:
@@ -88,7 +106,7 @@ def _first_available(
         vector = staged[d - 1]
         if vector is not None:
             return vector
-    return PredictionVector.fallthrough(req.fetch_pc, req.width)
+    return _shared_fallthrough(req.fetch_pc, req.width)
 
 
 class Leaf(TopologyNode):
@@ -106,7 +124,7 @@ class Leaf(TopologyNode):
         yield self.component
 
     def evaluate(self, req, depth, metas):
-        default = PredictionVector.fallthrough(req.fetch_pc, req.width)
+        default = _shared_fallthrough(req.fetch_pc, req.width)
         out, meta = self.component.lookup(req, [default])
         metas[self.component.name] = self.component.check_meta(meta)
         staged: StagedVectors = [None] * depth
@@ -140,15 +158,23 @@ class Override(TopologyNode):
         out, meta = self.hi.lookup(req, [predict_in])
         metas[self.hi.name] = self.hi.check_meta(meta)
         result: StagedVectors = list(staged)
+        # Consecutive stages usually share one vector object (a component's
+        # output is replicated across every stage >= its latency), so the
+        # merge is computed once per distinct vector, not once per stage.
+        prev_below = prev_merged = None
         for d in range(self.hi.latency, depth + 1):
             below = staged[d - 1]
             if below is None:
                 result[d - 1] = out
+            elif below is prev_below:
+                result[d - 1] = prev_merged
             else:
                 # hi wins per slot where it (or anything it passed through
                 # from its own predict_in) hit; otherwise the slower
                 # sub-topology's more recent prediction stands.
-                result[d - 1] = merge_by_hit(out, below)
+                prev_below = below
+                prev_merged = merge_by_hit(out, below)
+                result[d - 1] = prev_merged
         return result
 
     def describe(self) -> str:

@@ -8,7 +8,9 @@ trace-driven software-simulator methodology the paper argues *against*
 (§II-B), so the modelling gap is itself measurable.
 """
 
+from repro.eval.cache import ResultCache
 from repro.eval.metrics import RunResult, harmonic_mean
+from repro.eval.parallel import EvalJob, ParallelRunner
 from repro.eval.runner import run_workload, run_suite
 from repro.eval.tracesim import TraceSimulator, trace_accuracy
 from repro.eval.comparison import EvaluatedSystem, evaluated_systems
@@ -22,6 +24,9 @@ from repro.eval.sweep import (
 )
 
 __all__ = [
+    "ResultCache",
+    "EvalJob",
+    "ParallelRunner",
     "RunResult",
     "harmonic_mean",
     "run_workload",

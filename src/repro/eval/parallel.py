@@ -1,0 +1,230 @@
+"""Parallel evaluation engine: fan (system × workload) jobs over processes.
+
+The paper's workflow evaluates every candidate design over every workload —
+an embarrassingly parallel matrix whose cells share nothing (each run
+starts from a power-on-fresh predictor).  This module turns that matrix
+into picklable :class:`EvalJob` records and executes them over a
+``concurrent.futures.ProcessPoolExecutor``, with a deterministic on-disk
+result cache (:mod:`repro.eval.cache`) consulted before any work is
+scheduled.
+
+Design rules:
+
+- **Jobs ship specs, not objects.**  A job carries a preset name (or a
+  picklable factory) plus the :class:`~repro.isa.program.Program`; the
+  worker rebuilds the predictor from scratch, which both keeps the job
+  picklable and guarantees power-on-fresh state — exactly what the serial
+  path does.
+- **Serial is the reference.**  ``jobs=1`` executes in submission order in
+  the parent process with no executor involved; the parallel path must be
+  bit-identical to it (runs are deterministic), which the test suite
+  checks.
+- **Degrade, never fail.**  Unpicklable jobs (closure factories) fall back
+  to in-process execution.  A worker crash (``BrokenProcessPool``) reruns
+  the unfinished jobs serially.  A job that raises in a worker is retried
+  once in the parent so real errors surface with a clean traceback.
+
+This module must not import :mod:`repro.eval.runner` (the runner builds on
+the engine, not the other way around).
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro import presets
+from repro.core.composer import ComposedPredictor
+from repro.eval import cache as result_cache
+from repro.eval.metrics import RunResult
+from repro.frontend.config import CoreConfig
+from repro.frontend.core import Core
+from repro.isa.program import Program
+
+#: Called as ``progress(system, workload)`` as each job is dispatched.
+ProgressFn = Callable[[str, str], None]
+
+
+@dataclass
+class EvalJob:
+    """One (system, workload) cell of an evaluation matrix.
+
+    ``spec`` is a preset name or a zero-argument predictor factory; the
+    predictor is always built *inside* the executing process so every run
+    starts from power-on state.
+    """
+
+    system: str
+    spec: Union[str, Callable[[], ComposedPredictor]]
+    workload: str
+    program: Program
+    core_config: CoreConfig = field(default_factory=CoreConfig)
+    max_instructions: Optional[int] = None
+    max_cycles: Optional[int] = None
+
+
+def build_predictor(spec: Union[str, Callable[[], ComposedPredictor]]):
+    """Instantiate the job's predictor (fresh, power-on state)."""
+    if isinstance(spec, str):
+        return presets.build(spec)
+    return spec()
+
+
+def _execute_job(job: EvalJob) -> RunResult:
+    """Run one job to completion; module-level so workers can unpickle it."""
+    predictor = build_predictor(job.spec)
+    core = Core(job.program, predictor, job.core_config)
+    stats = core.run(
+        max_instructions=job.max_instructions, max_cycles=job.max_cycles
+    )
+    return RunResult.from_stats(job.system, job.workload, stats)
+
+
+def _is_picklable(job: EvalJob) -> bool:
+    try:
+        pickle.dumps(job)
+        return True
+    except Exception:
+        return False
+
+
+class ParallelRunner:
+    """Executes a batch of :class:`EvalJob` with caching and fan-out.
+
+    Parameters
+    ----------
+    jobs:
+        Worker-process count.  ``1`` (the default) runs everything in the
+        parent process — the bit-identical reference path.
+    cache:
+        A :class:`~repro.eval.cache.ResultCache`, a directory path, or
+        None (caching off).  Cached results are returned without
+        scheduling any work; fresh results are written back.
+    retries:
+        In-parent retries for a job whose worker raised (a worker-side
+        exception is retried serially so the real traceback surfaces).
+    progress:
+        Optional ``progress(system, workload)`` callback fired once per
+        job as it is dispatched (including cache hits).
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Union[None, str, "result_cache.ResultCache"] = None,
+        retries: int = 1,
+        progress: Optional[ProgressFn] = None,
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.cache = result_cache.resolve_cache(cache)
+        self.retries = retries
+        self.progress = progress
+
+    # ------------------------------------------------------------------
+    def run(self, batch: Sequence[EvalJob]) -> List[RunResult]:
+        """Execute every job; results are returned in submission order."""
+        batch = list(batch)
+        results: List[Optional[RunResult]] = [None] * len(batch)
+        keys: List[Optional[str]] = [None] * len(batch)
+
+        pending: List[int] = []
+        for index, job in enumerate(batch):
+            if self.cache is not None:
+                keys[index] = self._key_for(job)
+                cached = self.cache.get(keys[index])
+                if cached is not None:
+                    self._report(job)
+                    results[index] = cached
+                    continue
+            pending.append(index)
+
+        if self.jobs > 1 and len(pending) > 1:
+            parallelizable = [i for i in pending if _is_picklable(batch[i])]
+            serial_only = [i for i in pending if i not in set(parallelizable)]
+            for index in parallelizable:
+                self._report(batch[index])
+            self._run_parallel(batch, parallelizable, results)
+        else:
+            serial_only = pending
+        for index in serial_only:
+            self._report(batch[index])
+            results[index] = _execute_job(batch[index])
+
+        if self.cache is not None:
+            for index, result in enumerate(results):
+                if keys[index] is not None and result is not None:
+                    if not self.cache.path_for(keys[index]).exists():
+                        self.cache.put(keys[index], result)
+        return [r for r in results if r is not None]
+
+    # ------------------------------------------------------------------
+    def _report(self, job: EvalJob) -> None:
+        if self.progress is not None:
+            self.progress(job.system, job.workload)
+
+    def _key_for(self, job: EvalJob) -> str:
+        fingerprint = result_cache.job_fingerprint(
+            build_predictor(job.spec),
+            job.program,
+            job.core_config,
+            job.max_instructions,
+            job.max_cycles,
+        )
+        return result_cache.fingerprint_key(fingerprint)
+
+    def _run_parallel(
+        self,
+        batch: Sequence[EvalJob],
+        indices: List[int],
+        results: List[Optional[RunResult]],
+    ) -> None:
+        """Fan ``indices`` over a process pool, filling ``results``.
+
+        Any pool-level failure (a worker killed by the OS, a broken pipe)
+        falls back to executing the unfinished jobs serially; a job-level
+        exception is retried in the parent up to ``retries`` times before
+        propagating.
+        """
+        unfinished = list(indices)
+        failed: Dict[int, BaseException] = {}
+        try:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {pool.submit(_execute_job, batch[i]): i for i in indices}
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        index = futures[future]
+                        error = future.exception()
+                        if error is None:
+                            results[index] = future.result()
+                            unfinished.remove(index)
+                        elif isinstance(error, BrokenProcessPool):
+                            raise error
+                        else:
+                            failed[index] = error
+                            unfinished.remove(index)
+        except BrokenProcessPool:
+            # The pool died (e.g. a worker was OOM-killed); everything not
+            # yet finished reruns in-process.
+            for index in list(unfinished):
+                results[index] = _execute_job(batch[index])
+                unfinished.remove(index)
+
+        for index, error in failed.items():
+            last: BaseException = error
+            for _ in range(self.retries):
+                try:
+                    results[index] = _execute_job(batch[index])
+                    break
+                except Exception as retry_error:  # pragma: no cover - rare
+                    last = retry_error
+            else:
+                raise last

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+from pathlib import Path
 from typing import Callable, Dict, Iterable, Mapping, Optional, Union
 
 from repro.core.composer import ComposedPredictor
+from repro.eval.cache import ResultCache
 from repro.eval.metrics import RunResult
+from repro.eval.parallel import EvalJob, ParallelRunner
 from repro.frontend.config import CoreConfig
 from repro.frontend.core import Core
 from repro.isa.program import Program
@@ -16,17 +19,22 @@ from repro import presets
 SystemSpec = Union[str, ComposedPredictor, tuple]
 
 
-def _resolve_system(spec: SystemSpec):
-    """Normalize a system spec to (name, predictor_factory, core_config)."""
+def _resolve_system(spec: SystemSpec, default_config: Optional[CoreConfig] = None):
+    """Normalize a system spec to (name, predictor_spec, core_config).
+
+    ``predictor_spec`` is what :class:`~repro.eval.parallel.EvalJob`
+    carries: a preset name or a zero-argument factory, never a live
+    predictor (each run must start from power-on state).
+    """
     if isinstance(spec, str):
-        return spec, (lambda: presets.build(spec)), CoreConfig()
+        return spec, spec, default_config or CoreConfig()
     if isinstance(spec, ComposedPredictor):
         raise TypeError(
             "pass a predictor *factory* (callable) or preset name so each "
             "run starts from power-on state"
         )
     name, factory, config = spec
-    return name, factory, config or CoreConfig()
+    return name, factory, config or default_config or CoreConfig()
 
 
 def run_workload(
@@ -58,23 +66,44 @@ def run_suite(
     programs: Mapping[str, Program],
     max_instructions: Optional[int] = None,
     progress: Optional[Callable[[str, str], None]] = None,
+    max_cycles: Optional[int] = None,
+    core_config: Optional[CoreConfig] = None,
+    jobs: int = 1,
+    cache: Union[None, str, Path, ResultCache] = None,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (system, workload) pair; returns results[system][workload].
 
     Each pair gets a freshly built predictor so runs are independent, as in
     the paper's per-benchmark FPGA simulations.
+
+    ``core_config`` is the shared default core for systems that do not
+    carry their own (a ``(name, factory, config)`` tuple with a non-None
+    config still wins).  ``max_cycles`` bounds each run like
+    :func:`run_workload` does.  ``jobs`` > 1 fans the matrix over worker
+    processes and ``cache`` (a directory path or
+    :class:`~repro.eval.cache.ResultCache`) replays previously computed
+    cells; both default to the serial, uncached reference behaviour and
+    are guaranteed to produce identical results.
     """
-    results: Dict[str, Dict[str, RunResult]] = {}
+    batch = []
+    order: Dict[str, None] = {}
     for spec in systems:
-        name, factory, config = _resolve_system(spec)
-        results[name] = {}
+        name, predictor_spec, config = _resolve_system(spec, core_config)
+        order.setdefault(name)
         for workload_name, program in programs.items():
-            if progress is not None:
-                progress(name, workload_name)
-            predictor = factory()
-            core = Core(program, predictor, config)
-            stats = core.run(max_instructions=max_instructions)
-            results[name][workload_name] = RunResult.from_stats(
-                name, workload_name, stats
+            batch.append(
+                EvalJob(
+                    system=name,
+                    spec=predictor_spec,
+                    workload=workload_name,
+                    program=program,
+                    core_config=config,
+                    max_instructions=max_instructions,
+                    max_cycles=max_cycles,
+                )
             )
+    runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)
+    results: Dict[str, Dict[str, RunResult]] = {name: {} for name in order}
+    for job, result in zip(batch, runner.run(batch)):
+        results[job.system][job.workload] = result
     return results

@@ -9,11 +9,13 @@ sketches with its three points, generalized.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from repro.core.composer import ComposedPredictor
+from repro.eval.cache import ResultCache
 from repro.eval.metrics import arithmetic_mean, harmonic_mean
-from repro.eval.runner import run_workload
+from repro.eval.parallel import EvalJob, ParallelRunner
 from repro.frontend.config import CoreConfig
 from repro.isa.program import Program
 from repro.synthesis.area import AreaModel
@@ -50,9 +52,33 @@ def evaluate_designs(
     programs: Mapping[str, Program],
     core_config: Optional[CoreConfig] = None,
     area_model: Optional[AreaModel] = None,
+    jobs: int = 1,
+    cache: Union[None, str, Path, ResultCache] = None,
 ) -> List[DesignPoint]:
-    """Run every design over every workload; return one point per design."""
+    """Run every design over every workload; return one point per design.
+
+    ``jobs`` and ``cache`` behave as in
+    :func:`~repro.eval.runner.run_suite`: the (design × workload) cells are
+    independent, so they fan over worker processes and replay from the
+    deterministic result cache without changing any number.
+    """
     area_model = area_model or AreaModel()
+    config = core_config or CoreConfig()
+    batch = [
+        EvalJob(
+            system=name,
+            spec=factory,
+            workload=workload_name,
+            program=program,
+            core_config=config,
+        )
+        for name, factory in designs.items()
+        for workload_name, program in programs.items()
+    ]
+    runner = ParallelRunner(jobs=jobs, cache=cache)
+    by_design: Dict[str, Dict[str, "object"]] = {}
+    for job, result in zip(batch, runner.run(batch)):
+        by_design.setdefault(job.system, {})[job.workload] = result
     points: List[DesignPoint] = []
     for name, factory in designs.items():
         reference = factory()
@@ -62,10 +88,8 @@ def evaluate_designs(
         mpki: Dict[str, float] = {}
         ipcs: List[float] = []
         accs: List[float] = []
-        for workload_name, program in programs.items():
-            result = run_workload(
-                factory(), program, core_config, system_name=name
-            )
+        for workload_name in programs:
+            result = by_design[name][workload_name]
             mpki[workload_name] = result.mpki
             ipcs.append(result.ipc)
             accs.append(result.branch_accuracy)

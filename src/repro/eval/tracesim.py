@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.composer import ComposedPredictor, PreDecodedSlot
-from repro.core.prediction import packet_span
+from repro.core.prediction import packet_span, predecode_slot
 from repro.isa.interpreter import Interpreter
 from repro.isa.program import Program
 
@@ -44,18 +44,13 @@ class TraceSimulator:
     def __init__(self, predictor: ComposedPredictor, program: Program):
         self.predictor = predictor
         self.program = program
+        self._packet_cache = {}
 
     def _predecode(self, pc: int) -> PreDecodedSlot:
-        instr = self.program.fetch(pc)
-        if instr is None:
-            return PreDecodedSlot(valid=False)
-        if instr.is_cond_branch:
-            return PreDecodedSlot(is_cond_branch=True, direct_target=instr.target)
-        if instr.is_jump:
-            if instr.is_indirect:
-                return PreDecodedSlot(is_jalr=True, is_ret=instr.is_ret)
-            return PreDecodedSlot(is_jal=True, is_call=instr.is_call)
-        return PreDecodedSlot()
+        # The shared, memoized pre-decode rule — identical to the cycle-level
+        # frontend's, so trace-vs-core comparisons measure modelling error,
+        # never classification skew.
+        return predecode_slot(self.program.fetch(pc))
 
     def run(self, max_instructions: int = 1_000_000) -> TraceResult:
         """Drive the predictor down the architectural path, packet by packet."""
@@ -67,8 +62,14 @@ class TraceSimulator:
         record = next(stream, None)
         while record is not None:
             fetch_pc = record.pc
-            span = packet_span(fetch_pc, width)
-            slots = [self._predecode(fetch_pc + i) for i in range(span)]
+            slots = self._packet_cache.get(fetch_pc)
+            if slots is None:
+                slots = tuple(
+                    self._predecode(fetch_pc + i)
+                    for i in range(packet_span(fetch_pc, width))
+                )
+                self._packet_cache[fetch_pc] = slots
+            span = len(slots)
             result = self.predictor.predict(fetch_pc, slots, None)
 
             # Walk the architectural records covered by this packet: they

@@ -59,5 +59,9 @@ class CoreConfig:
     #: Short-forwards-branch (hammock) predication (§VI-C).
     sfb_enabled: bool = False
     sfb_max_distance: int = 8
+    #: Memoize pre-decode and fetch-packet construction per PC.  Programs
+    #: are immutable during a run, so this is result-neutral; the flag
+    #: exists so benchmarks can measure the hot-path speedup it buys.
+    fetch_memoization: bool = True
     cache: CacheConfig = field(default_factory=CacheConfig)
     icache: ICacheConfig = field(default_factory=ICacheConfig)

@@ -28,7 +28,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.components.ras import RasSnapshot, ReturnAddressStack
 from repro.core.composer import ComposedPredictor, PreDecodedSlot, PredictResult
-from repro.core.prediction import packet_span
+from repro.core.prediction import packet_span, predecode_slot
 from repro.frontend.caches import DataCacheModel, InstructionCacheModel
 from repro.frontend.config import CoreConfig
 from repro.frontend.oracle import OracleStream
@@ -91,7 +91,7 @@ class CoreStats:
         return 1.0 - self.branch_mispredicts / self.committed_branches
 
 
-@dataclass
+@dataclass(slots=True)
 class _RobEntry:
     seq: int
     pc: int
@@ -110,7 +110,7 @@ class _RobEntry:
     flushed: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class _DispatchSlot:
     pc: int
     instr: Instruction
@@ -130,13 +130,17 @@ class _BufferedPacket:
 
 
 class _InFlightFetch:
-    __slots__ = ("result", "age", "followed_next_pc")
+    __slots__ = ("result", "age", "followed_next_pc", "stage_next")
 
-    def __init__(self, result: PredictResult):
+    def __init__(self, result: PredictResult, stage_next: Tuple[int, ...]):
         self.result = result
         self.age = 0
-        # Set by the fetch unit immediately after construction.
-        self.followed_next_pc = -1
+        #: ``stage_next[d - 1]`` is the fetch PC the stage-``d`` prediction
+        #: directs the frontend to.  Precomputed once at issue so the staged
+        #: redirect check does not re-scan the prediction vector every cycle
+        #: the bundle sits in the fetch pipeline.
+        self.stage_next = stage_next
+        self.followed_next_pc = stage_next[0]
 
 
 _NOP = Instruction(Opcode.NOP)
@@ -196,6 +200,13 @@ class Core:
         )
         # Remaining instructions to commit per in-flight packet.
         self._packet_remaining: Dict[int, int] = {}
+        # Per-PC fetch memoization (the program is immutable during a run):
+        # pre-decoded slots, whole pre-decoded packets keyed by fetch PC, and
+        # dispatch-slot lists keyed by (fetch_pc, length, followed next PC).
+        self._memo = self.config.fetch_memoization
+        self._predecode_cache: Dict[int, PreDecodedSlot] = {}
+        self._packet_slots_cache: Dict[int, Tuple[PreDecodedSlot, ...]] = {}
+        self._dispatch_cache: Dict[Tuple[int, int, int], List[_DispatchSlot]] = {}
 
     # ------------------------------------------------------------------
     # Static analysis
@@ -219,22 +230,28 @@ class Core:
         return frozenset(eligible)
 
     def _predecode_slot(self, pc: int) -> PreDecodedSlot:
-        instr = self.program.fetch(pc)
-        if instr is None:
-            return PreDecodedSlot(valid=False)
-        if instr.is_cond_branch:
-            return PreDecodedSlot(
-                is_cond_branch=True,
-                direct_target=instr.target,
-                is_sfb=pc in self._sfb_pcs,
+        if not self._memo:
+            # Benchmarking mode: bypass every memoization layer, including
+            # the shared ``lru_cache``, so the unoptimized path is measurable.
+            return predecode_slot.__wrapped__(
+                self.program.fetch(pc), pc in self._sfb_pcs
             )
-        if instr.op is Opcode.JAL:
-            return PreDecodedSlot(
-                is_jal=True, is_call=instr.is_call, direct_target=instr.target
-            )
-        if instr.op is Opcode.JALR:
-            return PreDecodedSlot(is_jalr=True, is_ret=instr.is_ret)
-        return PreDecodedSlot()
+        cached = self._predecode_cache.get(pc)
+        if cached is not None:
+            return cached
+        slot = predecode_slot(self.program.fetch(pc), pc in self._sfb_pcs)
+        self._predecode_cache[pc] = slot
+        return slot
+
+    def _packet_slots(self, fetch_pc: int, width: int) -> Tuple[PreDecodedSlot, ...]:
+        """The pre-decoded packet starting at ``fetch_pc`` (memoized)."""
+        cached = self._packet_slots_cache.get(fetch_pc)
+        if cached is not None:
+            return cached
+        slots = tuple(self._predecode_slot(fetch_pc + i) for i in range(width))
+        if self._memo:
+            self._packet_slots_cache[fetch_pc] = slots
+        return slots
 
     # ------------------------------------------------------------------
     # Cycle loop
@@ -523,7 +540,7 @@ class Core:
             if stage >= self.predictor.depth:
                 new_next = bundle.result.next_fetch_pc
             else:
-                new_next = bundle.result.staged[stage - 1].next_fetch_pc(width)
+                new_next = bundle.stage_next[stage - 1]
             if new_next != bundle.followed_next_pc:
                 bundle.followed_next_pc = new_next
                 self._internal_redirect(position, bundle, new_next, stage)
@@ -590,7 +607,10 @@ class Core:
     def _issue_fetch(self) -> None:
         fetch_pc = self._fetch_pc
         width = packet_span(fetch_pc, self.config.fetch_width)
-        slots = [self._predecode_slot(fetch_pc + i) for i in range(width)]
+        if self._memo:
+            slots = self._packet_slots(fetch_pc, width)
+        else:
+            slots = [self._predecode_slot(fetch_pc + i) for i in range(width)]
         ras_top = self.ras.peek()
         snapshot = self.ras.snapshot()
         result = self.predictor.predict(fetch_pc, slots, ras_top)
@@ -606,31 +626,40 @@ class Core:
                     self.ras.pop()
                     action_slot = cfi
         self._ras_snaps[result.ftq_id] = (snapshot, action_slot)
-        bundle = _InFlightFetch(result)
-        bundle.followed_next_pc = result.staged[0].next_fetch_pc(
-            self.config.fetch_width
+        fetch_width = self.config.fetch_width
+        stage_next = tuple(
+            vector.next_fetch_pc(fetch_width) for vector in result.staged
         )
+        bundle = _InFlightFetch(result, stage_next)
         self._in_flight.append(bundle)
         self._fetch_pc = bundle.followed_next_pc
         self.stats.fetch_packets += 1
 
     def _make_packet(self, bundle: _InFlightFetch) -> _BufferedPacket:
         result = bundle.result
-        slots: List[_DispatchSlot] = []
         count = result.fetched_len
         self._packet_remaining[result.ftq_id] = count
-        for i in range(count):
-            pc = result.fetch_pc + i
-            instr = self.program.fetch(pc) or _NOP
-            last = i == count - 1
-            followed = result.next_fetch_pc if last else pc + 1
-            slots.append(
-                _DispatchSlot(
-                    pc=pc,
-                    instr=instr,
-                    slot_idx=i,
-                    followed_next_pc=followed,
-                    ends_packet=last,
+        key = (result.fetch_pc, count, result.next_fetch_pc)
+        slots = self._dispatch_cache.get(key) if self._memo else None
+        if slots is None:
+            slots = []
+            for i in range(count):
+                pc = result.fetch_pc + i
+                instr = self.program.fetch(pc) or _NOP
+                last = i == count - 1
+                followed = result.next_fetch_pc if last else pc + 1
+                slots.append(
+                    _DispatchSlot(
+                        pc=pc,
+                        instr=instr,
+                        slot_idx=i,
+                        followed_next_pc=followed,
+                        ends_packet=last,
+                    )
                 )
-            )
+            if self._memo:
+                # Dispatch slots are immutable once built (per-packet dispatch
+                # progress lives on _BufferedPacket), so identical packets can
+                # share one slot list.
+                self._dispatch_cache[key] = slots
         return _BufferedPacket(result.ftq_id, result.fetch_pc, slots)

@@ -22,13 +22,14 @@ class OracleStream:
         self._gen = self._interp.run(max_instructions)
         self._buffer: List[Optional[DynInstr]] = []
         self._base = 0  # oracle index of _buffer[0]
+        self._trimmed = 0  # logical trim point (may run ahead of _base)
         self._exhausted = False
 
     def get(self, index: int) -> Optional[DynInstr]:
         """Record at oracle index ``index``, or None past the end."""
-        if index < self._base:
+        if index < self._trimmed:
             raise IndexError(
-                f"oracle index {index} already trimmed (base {self._base})"
+                f"oracle index {index} already trimmed (base {self._trimmed})"
             )
         while index - self._base >= len(self._buffer):
             if self._exhausted:
@@ -40,9 +41,21 @@ class OracleStream:
                 return None
         return self._buffer[index - self._base]
 
+    #: Committed records are dropped in chunks: deleting a list prefix is
+    #: O(window), so per-instruction trims would make commit quadratic in
+    #: the window size.  Chunking amortizes the cost to O(1) per record.
+    _TRIM_CHUNK = 1024
+
     def trim(self, index: int) -> None:
-        """Discard records below ``index`` (they are committed)."""
-        if index <= self._base:
+        """Discard records below ``index`` (they are committed).
+
+        Trims are batched: the records logically below ``index`` are
+        immediately inaccessible to ``get`` but may be physically retained
+        until a chunk's worth has accumulated.
+        """
+        if index > self._trimmed:
+            self._trimmed = index
+        if index - self._base < self._TRIM_CHUNK:
             return
         drop = min(index - self._base, len(self._buffer))
         del self._buffer[:drop]

@@ -1,0 +1,161 @@
+"""The deterministic result cache: keys, round-trips, and fault tolerance."""
+
+import json
+
+import pytest
+
+from repro import presets
+from repro.eval.cache import (
+    CODE_VERSION,
+    ResultCache,
+    fingerprint_key,
+    job_fingerprint,
+    program_digest,
+    result_from_payload,
+    result_to_payload,
+)
+from repro.eval.runner import run_suite, run_workload
+from repro.frontend.config import CoreConfig
+from repro.workloads.micro import build_micro
+
+
+@pytest.fixture(scope="module")
+def program():
+    return build_micro("biased", scale=0.2)
+
+
+def _fingerprint(program, **overrides):
+    kwargs = dict(
+        predictor=presets.build("b2"),
+        program=program,
+        core_config=CoreConfig(),
+        max_instructions=2000,
+        max_cycles=None,
+    )
+    kwargs.update(overrides)
+    return job_fingerprint(**kwargs)
+
+
+class TestFingerprint:
+    def test_key_is_deterministic(self, program):
+        a = fingerprint_key(_fingerprint(program))
+        b = fingerprint_key(_fingerprint(program))
+        assert a == b
+
+    def test_key_changes_with_topology(self, program):
+        base = fingerprint_key(_fingerprint(program))
+        other = fingerprint_key(
+            _fingerprint(program, predictor=presets.build("tourney"))
+        )
+        assert base != other
+
+    def test_key_changes_with_component_sizing(self, program):
+        """Same topology string, different table sizing -> different key."""
+        small = presets.tage_l(tage_sets=256)
+        large = presets.tage_l(tage_sets=1024)
+        assert small.describe() == large.describe()
+        assert fingerprint_key(
+            _fingerprint(program, predictor=small)
+        ) != fingerprint_key(_fingerprint(program, predictor=large))
+
+    def test_key_changes_with_workload_content(self, program):
+        """Regenerating at another scale changes the program digest."""
+        rescaled = build_micro("biased", scale=0.4)
+        assert program_digest(program) != program_digest(rescaled)
+        assert fingerprint_key(_fingerprint(program)) != fingerprint_key(
+            _fingerprint(rescaled)
+        )
+
+    def test_key_changes_with_run_bounds_and_core(self, program):
+        base = fingerprint_key(_fingerprint(program))
+        assert base != fingerprint_key(
+            _fingerprint(program, max_instructions=4000)
+        )
+        assert base != fingerprint_key(_fingerprint(program, max_cycles=100))
+        assert base != fingerprint_key(
+            _fingerprint(program, core_config=CoreConfig(rob_entries=64))
+        )
+
+    def test_fingerprint_carries_code_version(self, program):
+        assert _fingerprint(program)["code_version"] == CODE_VERSION
+
+
+class TestRoundTrip:
+    def test_result_payload_round_trip(self, program):
+        result = run_workload("b2", program, max_instructions=2000)
+        payload = json.loads(json.dumps(result_to_payload(result)))
+        restored = result_from_payload(payload)
+        # Full equality including CoreStats (its int-keyed per-PC dicts
+        # must survive the JSON string-key round trip).
+        assert restored == result
+        assert restored.stats == result.stats
+        assert all(
+            isinstance(k, int) for k in restored.stats.mispredicts_by_pc
+        )
+
+    def test_cache_hit_returns_identical_result(self, tmp_path, program):
+        cache = ResultCache(tmp_path)
+        result = run_workload("b2", program, max_instructions=2000)
+        cache.put("k", result)
+        assert cache.get("k") == result
+        assert cache.hits == 1
+
+    def test_miss_and_hit_counters(self, tmp_path, program):
+        cache = ResultCache(tmp_path)
+        assert cache.get("absent") is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put("k", run_workload("b2", program, max_instructions=2000))
+        cache.get("k")
+        assert (cache.hits, cache.misses) == (1, 1)
+
+
+class TestFaultTolerance:
+    def test_corrupt_entry_is_a_miss(self, tmp_path, program):
+        cache = ResultCache(tmp_path)
+        result = run_workload("b2", program, max_instructions=2000)
+        cache.put("k", result)
+        cache.path_for("k").write_text("{ not json")
+        assert cache.get("k") is None
+        # Recompute-and-put recovers the entry.
+        cache.put("k", result)
+        assert cache.get("k") == result
+
+    def test_truncated_entry_is_a_miss(self, tmp_path, program):
+        cache = ResultCache(tmp_path)
+        cache.put("k", run_workload("b2", program, max_instructions=2000))
+        full = cache.path_for("k").read_text()
+        cache.path_for("k").write_text(full[: len(full) // 2])
+        assert cache.get("k") is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.path_for("k").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("k").write_text(json.dumps({"result": {"bogus": 1}}))
+        assert cache.get("k") is None
+
+
+class TestSuiteIntegration:
+    def test_warm_cache_replays_suite_exactly(self, tmp_path):
+        programs = {
+            name: build_micro(name, scale=0.2) for name in ("biased", "dispatch")
+        }
+        cold = run_suite(
+            ["b2"], programs, max_instructions=2000, cache=tmp_path / "c"
+        )
+        warm = run_suite(
+            ["b2"], programs, max_instructions=2000, cache=tmp_path / "c"
+        )
+        uncached = run_suite(["b2"], programs, max_instructions=2000)
+        for workload in programs:
+            assert warm["b2"][workload] == cold["b2"][workload]
+            assert warm["b2"][workload] == uncached["b2"][workload]
+        assert len(ResultCache(tmp_path / "c")) == len(programs)
+
+    def test_seed_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        a = build_micro("biased", scale=0.2)
+        b = build_micro("biased", scale=0.3)
+        run_suite(["b2"], {"biased": a}, max_instructions=2000, cache=cache)
+        run_suite(["b2"], {"biased": b}, max_instructions=2000, cache=cache)
+        # Distinct program content -> distinct entries, no false sharing.
+        assert len(cache) == 2
