@@ -14,7 +14,6 @@ import pytest
 
 from repro import presets
 from repro.components.library import standard_library
-from repro.components.tage import default_tables
 from repro.core import ComposerConfig, compose
 from repro.eval import evaluate_designs, format_points, pareto_frontier
 from repro.workloads import build_specint

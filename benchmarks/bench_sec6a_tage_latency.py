@@ -12,7 +12,7 @@ import pytest
 
 from repro import presets
 from repro.eval import harmonic_mean, run_workload
-from repro.workloads import SPECINT_NAMES, build_specint
+from repro.workloads import build_specint
 
 BENCHES = ("perlbench", "x264", "xz", "exchange2")
 

@@ -14,7 +14,7 @@ Run:  python examples/profiling_and_rtl.py
 """
 
 from repro import presets
-from repro.eval import format_profile, top_offenders
+from repro.eval import format_profile
 from repro.frontend import Core, CoreConfig
 from repro.rtl import generate_verilog_skeleton
 from repro.workloads import build_coremark

@@ -7,6 +7,7 @@ Commands
 - ``area``     — area breakdown of a predictor (Fig. 8 style).
 - ``storage``  — Table-I style storage summary of the three presets.
 - ``topology`` — parse and describe a topology string (sanity check).
+- ``golden``   — check or regenerate the committed golden-stats snapshot.
 """
 
 from __future__ import annotations
@@ -52,7 +53,14 @@ def _cmd_run(args) -> int:
     program = _build_workload(args.workload, args.scale)
     predictor = _build_predictor(args.predictor)
     config = CoreConfig(sfb_enabled=args.sfb)
-    result = run_workload(predictor, program, config, system_name=args.predictor)
+    result = run_workload(
+        predictor,
+        program,
+        config,
+        system_name=args.predictor,
+        telemetry=args.telemetry or args.trace is not None,
+        trace_path=args.trace,
+    )
     print(result.row())
     print(
         f"  branches={result.branches} mispredicts={result.branch_mispredicts} "
@@ -61,6 +69,16 @@ def _cmd_run(args) -> int:
     if args.energy:
         epi = EnergyModel().energy_per_instruction(predictor, result.instructions)
         print(f"  predictor energy: {epi:.1f} pJ/instruction")
+    if result.telemetry is not None:
+        from repro.eval.profiler import format_attribution
+        from repro.telemetry import format_summary
+
+        print()
+        print(format_summary(result.telemetry))
+        print()
+        print(format_attribution(result.telemetry, program))
+    if args.trace is not None:
+        print(f"\nevent trace written to {args.trace}")
     return 0
 
 
@@ -72,7 +90,11 @@ def _cmd_sweep(args) -> int:
     )
     programs = {name: _build_workload(name, args.scale) for name in names}
     results = run_suite(
-        args.predictors, programs, jobs=args.jobs, cache=args.cache
+        args.predictors,
+        programs,
+        jobs=args.jobs,
+        cache=args.cache,
+        telemetry=args.telemetry,
     )
     mpki = {s: {w: r.mpki for w, r in rows.items()} for s, rows in results.items()}
     ipc = {s: {w: r.ipc for w, r in rows.items()} for s, rows in results.items()}
@@ -83,7 +105,44 @@ def _cmd_sweep(args) -> int:
     print(format_matrix(mpki, value_format="{:7.1f}", col_width=10))
     print("\nIPC:")
     print(format_matrix(ipc, value_format="{:7.2f}", col_width=10))
+    if args.telemetry:
+        from repro.telemetry import format_component_table
+
+        for system, rows in results.items():
+            for workload, result in rows.items():
+                if result.telemetry is None:
+                    continue
+                print(f"\n{system} / {workload}:")
+                print(format_component_table(result.telemetry))
     return 0
+
+
+def _cmd_golden(args) -> int:
+    from repro.eval import golden
+
+    path = args.path or golden.DEFAULT_GOLDEN_PATH
+
+    def progress(preset: str, workload: str) -> None:
+        print(f"  running {preset} / {workload} ...", flush=True)
+
+    if args.update:
+        print(f"regenerating golden snapshot at {path}")
+        golden.update_goldens(path, progress=progress)
+        print("done")
+        return 0
+    print(f"checking fresh runs against {path}")
+    ok, messages = golden.check_goldens(path, progress=progress)
+    if ok:
+        print("golden stats match")
+        return 0
+    print(f"GOLDEN STATS MISMATCH ({len(messages)} differences):")
+    for message in messages:
+        print(f"  {message}")
+    print(
+        "if the change is intentional, regenerate with "
+        "`repro golden --update` and commit the diff"
+    )
+    return 1
 
 
 def _cmd_area(args) -> int:
@@ -146,6 +205,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="enable short-forwards-branch predication")
     run.add_argument("--energy", action="store_true",
                      help="also report predictor energy per instruction")
+    run.add_argument("--telemetry", action="store_true",
+                     help="attach the telemetry collector and print the "
+                          "per-component attribution summary")
+    run.add_argument("--trace", default=None, metavar="PATH",
+                     help="write a bounded JSONL event trace to PATH "
+                          "(implies --telemetry)")
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="workloads x predictors matrix")
@@ -159,6 +224,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache", default=None, metavar="DIR",
                        help="directory for the deterministic result cache "
                             "(off when omitted)")
+    sweep.add_argument("--telemetry", action="store_true",
+                       help="attach telemetry collectors and print "
+                            "per-component tables for every cell")
     sweep.set_defaults(func=_cmd_sweep)
 
     area = sub.add_parser("area", help="area breakdown of a predictor")
@@ -171,6 +239,19 @@ def build_parser() -> argparse.ArgumentParser:
     topology = sub.add_parser("topology", help="parse a topology string")
     topology.add_argument("spec")
     topology.set_defaults(func=_cmd_topology)
+
+    golden = sub.add_parser(
+        "golden", help="check or regenerate the golden-stats snapshot"
+    )
+    golden.add_argument("--check", action="store_true",
+                        help="compare fresh runs against the snapshot "
+                             "(the default action)")
+    golden.add_argument("--update", action="store_true",
+                        help="regenerate the snapshot from fresh runs")
+    golden.add_argument("--path", default=None,
+                        help="snapshot location (default: goldens/"
+                             "golden_stats.json)")
+    golden.set_defaults(func=_cmd_golden)
     return parser
 
 

@@ -16,7 +16,7 @@ provider table and the predicted target's confidence to update time.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

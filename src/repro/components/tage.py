@@ -25,7 +25,6 @@ from repro._util import (
     fold_history,
     hash_pc,
     log2_exact,
-    mask,
     saturating_update,
 )
 from repro.components.base import MetaCodec

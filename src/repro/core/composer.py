@@ -36,17 +36,17 @@ never observe pre-decode information at lookup time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro._util import shift_in
-from repro.core.events import PredictRequest, UpdateBundle
+from repro.core.events import PredictRequest
 from repro.core.history import (
     GlobalHistoryProvider,
     LocalHistoryProvider,
     PathHistoryProvider,
 )
-from repro.core.history_file import HistoryFile, HistoryFileEntry
+from repro.core.history_file import HistoryFile
 from repro.core.interface import InterfaceError, PredictorComponent, StorageReport
 from repro.core.parser import ComponentLibrary, parse_topology
 from repro.core.prediction import (  # noqa: F401  (PreDecodedSlot re-exported)
@@ -185,6 +185,31 @@ class ComposedPredictor:
         # No-replay staleness window state (§VI-B).
         self._stale_queries_remaining = 0
         self._stale_ghist = 0
+        #: Optional telemetry observer (see :mod:`repro.telemetry`); None
+        #: keeps every hook a single attribute test on the hot path.
+        self._telemetry = None
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def telemetry(self):
+        """The attached telemetry collector, or None."""
+        return self._telemetry
+
+    def attach_telemetry(self, collector) -> None:
+        """Subscribe ``collector`` to this pipeline's prediction events.
+
+        The collector observes predict/fire/mispredict/repair/update
+        dispatches and the attribution of final-prediction slots to
+        sub-components; it never influences predictions, so attaching
+        telemetry cannot change simulation results.
+        """
+        self._telemetry = collector
+        collector.bind(self)
+
+    def detach_telemetry(self) -> None:
+        self._telemetry = None
 
     # ------------------------------------------------------------------
     @property
@@ -229,7 +254,9 @@ class ComposedPredictor:
 
         req = PredictRequest(fetch_pc, width, req_ghist, lhist, phist)
         metas: Dict[str, int] = {}
-        staged_raw = self.topology.evaluate(req, self.depth, metas)
+        telemetry = self._telemetry
+        attribution = {} if telemetry is not None else None
+        staged_raw = self.topology.evaluate(req, self.depth, metas, attribution)
         staged = [
             vector if vector is not None else _shared_fallthrough(fetch_pc, width)
             for vector in staged_raw
@@ -252,6 +279,14 @@ class ComposedPredictor:
             # entry records it as the packet's CFI only when taken.
             pass
 
+        slot_providers = None
+        if telemetry is not None:
+            final_providers = attribution.get(id(staged_raw[-1]))
+            slot_providers = (
+                tuple(final_providers)
+                if final_providers is not None
+                else (None,) * width
+            )
         entry = self.history_file.allocate(
             fetch_pc=fetch_pc,
             width=width,
@@ -270,6 +305,7 @@ class ComposedPredictor:
             cfi_is_br=bool(cfi_idx is not None and slots[cfi_idx].is_cond_branch),
             cfi_is_jal=bool(cfi_idx is not None and slots[cfi_idx].is_jal),
             cfi_is_jalr=bool(cfi_idx is not None and slots[cfi_idx].is_jalr),
+            slot_providers=slot_providers,
         )
 
         if self._fire_components:
@@ -290,6 +326,9 @@ class ComposedPredictor:
             target = final.slots[cfi_idx].target
             if final.slots[cfi_idx].redirects and target is not None:
                 self._path.speculate_taken(target)
+
+        if telemetry is not None:
+            telemetry.on_predict(entry, staged, attribution, len(self.history_file))
 
         self.stats.predictions += 1
         return PredictResult(
@@ -381,7 +420,10 @@ class ComposedPredictor:
         self._global.restore(squashed[0].chain_ghist)
         if self._path is not None:
             self._path.restore(squashed[0].phist_snapshot)
-        return self._repair.repair(squashed)
+        walk_cycles = self._repair.repair(squashed)
+        if self._telemetry is not None:
+            self._telemetry.on_repair(len(squashed), walk_cycles)
+        return walk_cycles
 
     def resolve_mispredict(
         self,
@@ -395,6 +437,8 @@ class ComposedPredictor:
         entry = self.history_file.get(ftq_id)
         squashed = self.history_file.squash_after(ftq_id)
         walk_cycles = self._repair.repair(squashed)
+        if self._telemetry is not None and squashed:
+            self._telemetry.on_repair(len(squashed), walk_cycles)
 
         corrupted_ghist = self._global.read()
 
@@ -465,6 +509,10 @@ class ComposedPredictor:
             self.stats.direction_mispredicts += 1
         else:
             self.stats.target_mispredicts += 1
+        if self._telemetry is not None:
+            self._telemetry.on_resolve(
+                entry, slot, actual_taken, is_direction_mispredict
+            )
         return MispredictResponse(walk_cycles, extra_bubbles)
 
     # ------------------------------------------------------------------
@@ -487,6 +535,8 @@ class ComposedPredictor:
         self.stats.committed_branches += sum(entry.br_mask)
         if entry.cfi_is_jal or entry.cfi_is_jalr:
             self.stats.committed_jumps += 1
+        if self._telemetry is not None:
+            self._telemetry.on_commit(entry)
 
     # ------------------------------------------------------------------
     # Introspection

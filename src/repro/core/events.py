@@ -21,6 +21,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+#: The five interface events, in pipeline order.  Telemetry trace records
+#: (:mod:`repro.telemetry.trace`) use these names, with commit-time
+#: ``update`` closing each packet's lifetime.
+EVENT_NAMES = ("predict", "fire", "mispredict", "repair", "update")
+
 
 @dataclass(frozen=True)
 class PredictRequest:

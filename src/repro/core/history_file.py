@@ -55,6 +55,10 @@ class HistoryFileEntry:
     #: Slot that mispredicted (set at resolve time).
     mispredict_idx: Optional[int] = None
     resolved_cfi_target: Optional[int] = None
+    #: Telemetry attribution: per-slot name of the component that supplied
+    #: the final prediction (None per slot for the fall-through default;
+    #: None overall when telemetry is off, costing nothing).
+    slot_providers: Optional[Tuple[Optional[str], ...]] = None
     #: Number of instructions from this packet the core must commit before
     #: the entry can be dequeued (set by the frontend at dispatch time).
     commit_countdown: int = field(default=0)

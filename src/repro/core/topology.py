@@ -68,9 +68,24 @@ class TopologyNode(abc.ABC):
 
     @abc.abstractmethod
     def evaluate(
-        self, req: PredictRequest, depth: int, metas: Dict[str, int]
+        self,
+        req: PredictRequest,
+        depth: int,
+        metas: Dict[str, int],
+        attribution: Optional[Dict[int, List[Optional[str]]]] = None,
     ) -> StagedVectors:
-        """Compute staged predictions, recording each component's metadata."""
+        """Compute staged predictions, recording each component's metadata.
+
+        ``attribution``, when supplied (telemetry mode), is filled with a
+        per-slot provider list for every produced vector, keyed by
+        ``id(vector)``: entry ``i`` names the component that supplied slot
+        ``i``'s prediction, or None for the fall-through default.  Provider
+        identity follows the same muxing the vectors themselves do — a
+        pass-through slot keeps its upstream provider — so the map is exact
+        for any vector the composer hands to the frontend.  The ids are
+        only valid while the vectors are alive; callers must consume the
+        map before releasing the staged vectors.
+        """
 
     @property
     def max_latency(self) -> int:
@@ -123,13 +138,18 @@ class Leaf(TopologyNode):
     def components(self) -> Iterator[PredictorComponent]:
         yield self.component
 
-    def evaluate(self, req, depth, metas):
+    def evaluate(self, req, depth, metas, attribution=None):
         default = _shared_fallthrough(req.fetch_pc, req.width)
         out, meta = self.component.lookup(req, [default])
         metas[self.component.name] = self.component.check_meta(meta)
         staged: StagedVectors = [None] * depth
         for d in range(self.component.latency, depth + 1):
             staged[d - 1] = out
+        if attribution is not None:
+            name = self.component.name
+            attribution[id(out)] = [
+                name if slot.hit else None for slot in out.slots
+            ]
         return staged
 
     def describe(self) -> str:
@@ -152,11 +172,24 @@ class Override(TopologyNode):
         yield from self.lo.components()
         yield self.hi
 
-    def evaluate(self, req, depth, metas):
-        staged = self.lo.evaluate(req, depth, metas)
+    def evaluate(self, req, depth, metas, attribution=None):
+        staged = self.lo.evaluate(req, depth, metas, attribution)
         predict_in = _first_available(staged, self.hi.latency, req)
         out, meta = self.hi.lookup(req, [predict_in])
         metas[self.hi.name] = self.hi.check_meta(meta)
+        out_providers = None
+        if attribution is not None:
+            # Slots hi left untouched (equal to its predict_in) keep their
+            # upstream provider; slots it changed are hi's.
+            in_providers = attribution.get(id(predict_in))
+            name = self.hi.name
+            out_providers = [
+                (in_providers[i] if in_providers else None)
+                if out.slots[i] == predict_in.slots[i]
+                else name
+                for i in range(len(out.slots))
+            ]
+            attribution[id(out)] = out_providers
         result: StagedVectors = list(staged)
         # Consecutive stages usually share one vector object (a component's
         # output is replicated across every stage >= its latency), so the
@@ -174,6 +207,14 @@ class Override(TopologyNode):
                 # sub-topology's more recent prediction stands.
                 prev_below = below
                 prev_merged = merge_by_hit(out, below)
+                if attribution is not None:
+                    below_providers = attribution.get(id(below))
+                    attribution[id(prev_merged)] = [
+                        out_providers[i]
+                        if out.slots[i].hit
+                        else (below_providers[i] if below_providers else None)
+                        for i in range(len(out.slots))
+                    ]
                 result[d - 1] = prev_merged
         return result
 
@@ -212,14 +253,32 @@ class Arbitrate(TopologyNode):
             yield from child.components()
         yield self.selector
 
-    def evaluate(self, req, depth, metas):
-        child_staged = [child.evaluate(req, depth, metas) for child in self.children]
+    def evaluate(self, req, depth, metas, attribution=None):
+        child_staged = [
+            child.evaluate(req, depth, metas, attribution)
+            for child in self.children
+        ]
         predict_ins = [
             _first_available(staged, self.selector.latency, req)
             for staged in child_staged
         ]
         out, meta = self.selector.lookup(req, predict_ins)
         metas[self.selector.name] = self.selector.check_meta(meta)
+        if attribution is not None:
+            # A slot equal to one of the arbitrated inputs is that child's
+            # prediction (the selector chose it); anything else is the
+            # selector's own.
+            providers: List[Optional[str]] = []
+            name = self.selector.name
+            for i, slot in enumerate(out.slots):
+                provider: Optional[str] = name
+                for vector in predict_ins:
+                    if slot == vector.slots[i]:
+                        child_providers = attribution.get(id(vector))
+                        provider = child_providers[i] if child_providers else None
+                        break
+                providers.append(provider)
+            attribution[id(out)] = providers
         result: StagedVectors = list(child_staged[0])
         for d in range(self.selector.latency, depth + 1):
             result[d - 1] = out

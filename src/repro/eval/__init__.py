@@ -15,7 +15,16 @@ from repro.eval.runner import run_workload, run_suite
 from repro.eval.tracesim import TraceSimulator, trace_accuracy
 from repro.eval.comparison import EvaluatedSystem, evaluated_systems
 from repro.eval.artifacts import Regression, compare_results, load_results, save_results
-from repro.eval.profiler import SiteReport, coverage, format_profile, top_offenders
+from repro.eval.golden import check_goldens, update_goldens
+from repro.eval.profiler import (
+    AttributedSite,
+    SiteReport,
+    coverage,
+    format_attribution,
+    format_profile,
+    site_attribution,
+    top_offenders,
+)
 from repro.eval.sweep import (
     DesignPoint,
     evaluate_designs,
@@ -39,10 +48,15 @@ __all__ = [
     "compare_results",
     "load_results",
     "save_results",
+    "AttributedSite",
     "SiteReport",
+    "check_goldens",
     "coverage",
+    "format_attribution",
     "format_profile",
+    "site_attribution",
     "top_offenders",
+    "update_goldens",
     "DesignPoint",
     "evaluate_designs",
     "format_points",

@@ -30,6 +30,15 @@ _FIELDS = (
 )
 
 
+def _result_payload(result: RunResult) -> Dict[str, object]:
+    payload = {field: getattr(result, field) for field in _FIELDS}
+    if result.telemetry is not None:
+        # Telemetry summaries are JSON-canonical by construction, so the
+        # payload survives the round trip bit-identically.
+        payload["telemetry"] = result.telemetry
+    return payload
+
+
 def save_results(
     results: Mapping[str, Mapping[str, RunResult]],
     path: Union[str, Path],
@@ -37,7 +46,7 @@ def save_results(
     """Persist a results[system][workload] matrix to JSON."""
     payload = {
         system: {
-            workload: {field: getattr(r, field) for field in _FIELDS}
+            workload: _result_payload(r)
             for workload, r in rows.items()
         }
         for system, rows in results.items()
@@ -52,8 +61,14 @@ def load_results(path: Union[str, Path]) -> Dict[str, Dict[str, RunResult]]:
     for system, rows in payload.items():
         out[system] = {}
         for workload, fields in rows.items():
+            fields = dict(fields)
+            telemetry = fields.pop("telemetry", None)
             out[system][workload] = RunResult(
-                system=system, workload=workload, stats=None, **fields
+                system=system,
+                workload=workload,
+                stats=None,
+                telemetry=telemetry,
+                **fields,
             )
     return out
 

@@ -18,7 +18,9 @@ names:
   not the workload's name — so regenerating a workload with a different
   seed or scale invalidates the entry;
 - every :class:`~repro.frontend.config.CoreConfig` field and the run
-  bounds (``max_instructions``/``max_cycles``);
+  bounds (``max_instructions``/``max_cycles``) — including the
+  ``telemetry`` flag, so telemetry-on entries (whose stats carry a summary
+  payload) never alias telemetry-off entries;
 - :data:`CODE_VERSION`, bumped whenever simulator semantics change, so a
   stale cache can never leak results across incompatible versions.
 

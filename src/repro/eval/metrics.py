@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Any, Dict, Iterable, Optional
 
 from repro.frontend.core import CoreStats
 
@@ -47,6 +47,9 @@ class RunResult:
     target_mispredicts: int
     flushes: int
     stats: Optional[CoreStats] = None
+    #: Telemetry summary payload when the run was telemetry-enabled
+    #: (JSON-canonical; survives artifact and cache round-trips).
+    telemetry: Optional[Dict[str, Any]] = None
 
     @classmethod
     def from_stats(cls, system: str, workload: str, stats: CoreStats) -> "RunResult":
@@ -64,6 +67,7 @@ class RunResult:
             target_mispredicts=stats.target_mispredicts,
             flushes=stats.flushes,
             stats=stats,
+            telemetry=stats.telemetry,
         )
 
     def row(self) -> str:

@@ -8,8 +8,8 @@ of every predictor-tuning loop.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.frontend.core import CoreStats
 from repro.isa.program import Program
@@ -80,4 +80,95 @@ def format_profile(
         f"top-{min(limit, len(rows))} coverage: "
         f"{coverage(stats, limit) * 100:.1f}% of all mispredicts"
     )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Component attribution (telemetry-backed)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AttributedSite:
+    """One branch site with per-component right/wrong final directions.
+
+    Built from a telemetry summary's ``sites`` payload
+    (:meth:`repro.telemetry.TelemetryCollector.summary`), which records,
+    for every resolved final direction, *which sub-component supplied it*.
+    ``providers`` maps component name (or ``"(none)"`` for the fall-through
+    default) to ``(right, wrong)`` counts.
+    """
+
+    pc: int
+    instruction: str = ""
+    providers: Dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def wrong(self) -> int:
+        return sum(w for _, w in self.providers.values())
+
+    @property
+    def right(self) -> int:
+        return sum(r for r, _ in self.providers.values())
+
+    def worst_provider(self) -> Optional[str]:
+        """The component charged with the most wrong directions here."""
+        if not self.providers:
+            return None
+        name, counts = max(self.providers.items(), key=lambda kv: kv[1][1])
+        return name if counts[1] else None
+
+
+def site_attribution(
+    telemetry: Mapping[str, Any],
+    program: Optional[Program] = None,
+    limit: int = 10,
+) -> List[AttributedSite]:
+    """Branch sites ranked by attributed-wrong count, worst first.
+
+    ``telemetry`` is a summary payload (``CoreStats.telemetry`` /
+    ``RunResult.telemetry``); site PCs arrive JSON-canonical as strings
+    and are converted back to ints here.
+    """
+    sites = []
+    for pc_text, by_provider in telemetry.get("sites", {}).items():
+        pc = int(pc_text)
+        text = ""
+        if program is not None:
+            instr = program.fetch(pc)
+            text = str(instr) if instr is not None else "?"
+        providers = {
+            name: (counts[0], counts[1])
+            for name, counts in by_provider.items()
+        }
+        sites.append(AttributedSite(pc=pc, instruction=text, providers=providers))
+    sites.sort(key=lambda s: (-s.wrong, s.pc))
+    return sites[:limit]
+
+
+def format_attribution(
+    telemetry: Mapping[str, Any],
+    program: Optional[Program] = None,
+    limit: int = 10,
+) -> str:
+    """Human-readable per-site attribution table."""
+    rows = [s for s in site_attribution(telemetry, program, limit) if s.wrong]
+    if not rows:
+        return "(no attributed mispredicts recorded)"
+    lines = [
+        f"{'pc':>8s} {'right':>8s} {'wrong':>8s}  worst offender      instruction",
+    ]
+    for row in rows:
+        worst = row.worst_provider() or "-"
+        detail = ", ".join(
+            f"{name}={wrong}"
+            for name, (_, wrong) in sorted(
+                row.providers.items(), key=lambda kv: -kv[1][1]
+            )
+            if wrong
+        )
+        lines.append(
+            f"{row.pc:8d} {row.right:8d} {row.wrong:8d}  "
+            f"{worst:18s}  {row.instruction}"
+        )
+        if detail and "," in detail:
+            lines.append(f"{'':28s}({detail})")
     return "\n".join(lines)

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import dataclasses
 from pathlib import Path
 from typing import Callable, Dict, Iterable, Mapping, Optional, Union
 
@@ -44,20 +45,38 @@ def run_workload(
     max_instructions: Optional[int] = None,
     max_cycles: Optional[int] = None,
     system_name: Optional[str] = None,
+    telemetry: bool = False,
+    trace_path: Optional[Union[str, Path]] = None,
 ) -> RunResult:
     """Run one workload to completion on one predictor.
 
     ``predictor`` may be a preset name (a fresh instance is built) or an
     already-constructed :class:`ComposedPredictor` (which is *not* reset:
     callers own warm-up semantics).
+
+    ``telemetry`` attaches a collector and publishes its summary on the
+    result; ``trace_path`` additionally streams a bounded JSONL event
+    trace to that file (and implies ``telemetry``).
     """
     if isinstance(predictor, str):
         name = system_name or predictor
         predictor = presets.build(predictor)
     else:
         name = system_name or predictor.describe()
-    core = Core(program, predictor, core_config or CoreConfig())
-    stats = core.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    config = core_config or CoreConfig()
+    trace = None
+    if trace_path is not None:
+        from repro.telemetry import EventTrace
+
+        trace = EventTrace(path=trace_path)
+    if (telemetry or trace is not None) and not config.telemetry:
+        config = dataclasses.replace(config, telemetry=True)
+    try:
+        core = Core(program, predictor, config, trace=trace)
+        stats = core.run(max_instructions=max_instructions, max_cycles=max_cycles)
+    finally:
+        if trace is not None:
+            trace.close()
     return RunResult.from_stats(name, program.name, stats)
 
 
@@ -70,6 +89,7 @@ def run_suite(
     core_config: Optional[CoreConfig] = None,
     jobs: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
+    telemetry: bool = False,
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (system, workload) pair; returns results[system][workload].
 
@@ -84,11 +104,18 @@ def run_suite(
     :class:`~repro.eval.cache.ResultCache`) replays previously computed
     cells; both default to the serial, uncached reference behaviour and
     are guaranteed to produce identical results.
+
+    ``telemetry`` turns the collector on for every cell (systems carrying
+    their own config get a telemetry-enabled copy of it).  Telemetry flips
+    the cache fingerprint — telemetry-on and telemetry-off results never
+    alias — and the summary payload round-trips through cached entries.
     """
     batch = []
     order: Dict[str, None] = {}
     for spec in systems:
         name, predictor_spec, config = _resolve_system(spec, core_config)
+        if telemetry and not config.telemetry:
+            config = dataclasses.replace(config, telemetry=True)
         order.setdefault(name)
         for workload_name, program in programs.items():
             batch.append(

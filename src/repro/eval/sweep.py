@@ -8,6 +8,7 @@ sketches with its three points, generalized.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Union
@@ -54,16 +55,20 @@ def evaluate_designs(
     area_model: Optional[AreaModel] = None,
     jobs: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
+    telemetry: bool = False,
 ) -> List[DesignPoint]:
     """Run every design over every workload; return one point per design.
 
     ``jobs`` and ``cache`` behave as in
     :func:`~repro.eval.runner.run_suite`: the (design × workload) cells are
     independent, so they fan over worker processes and replay from the
-    deterministic result cache without changing any number.
+    deterministic result cache without changing any number.  ``telemetry``
+    attaches per-run collectors, as in :func:`run_suite`.
     """
     area_model = area_model or AreaModel()
     config = core_config or CoreConfig()
+    if telemetry and not config.telemetry:
+        config = dataclasses.replace(config, telemetry=True)
     batch = [
         EvalJob(
             system=name,

@@ -16,7 +16,6 @@ path, no speculative history corruption, and no update delay.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.core.composer import ComposedPredictor, PreDecodedSlot
 from repro.core.prediction import packet_span, predecode_slot

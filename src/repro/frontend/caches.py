@@ -18,7 +18,7 @@ the prefetcher's effect is testable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 from repro.frontend.config import CacheConfig
 

@@ -63,5 +63,9 @@ class CoreConfig:
     #: are immutable during a run, so this is result-neutral; the flag
     #: exists so benchmarks can measure the hot-path speedup it buys.
     fetch_memoization: bool = True
+    #: Attach a :class:`repro.telemetry.TelemetryCollector` to the composed
+    #: predictor and publish its summary on ``CoreStats.telemetry``.
+    #: Result-neutral: telemetry observes events but never perturbs them.
+    telemetry: bool = False
     cache: CacheConfig = field(default_factory=CacheConfig)
     icache: ICacheConfig = field(default_factory=ICacheConfig)

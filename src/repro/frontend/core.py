@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.components.ras import RasSnapshot, ReturnAddressStack
 from repro.core.composer import ComposedPredictor, PreDecodedSlot, PredictResult
@@ -64,6 +64,10 @@ class CoreStats:
     mispredicts_by_pc: Dict[int, int] = field(default_factory=dict)
     #: Committed executions per static branch PC.
     executions_by_pc: Dict[int, int] = field(default_factory=dict)
+    #: Telemetry summary payload (``CoreConfig.telemetry``); None when the
+    #: collector is not attached.  JSON-canonical, see
+    #: :meth:`repro.telemetry.TelemetryCollector.summary`.
+    telemetry: Optional[Dict[str, Any]] = None
 
     @property
     def ipc(self) -> float:
@@ -155,6 +159,7 @@ class Core:
         predictor: ComposedPredictor,
         config: Optional[CoreConfig] = None,
         max_oracle_instructions: int = 50_000_000,
+        trace: Optional[object] = None,
     ):
         self.config = config or CoreConfig()
         if predictor.config.fetch_width != self.config.fetch_width:
@@ -177,6 +182,12 @@ class Core:
         )
         self.ras = ReturnAddressStack(self.config.ras_depth)
         self.stats = CoreStats()
+        self.telemetry = None
+        if self.config.telemetry or trace is not None:
+            from repro.telemetry import TelemetryCollector
+
+            self.telemetry = TelemetryCollector(trace=trace)
+            self.predictor.attach_telemetry(self.telemetry)
 
         self._cycle = 0
         self._fetch_pc = program.entry
@@ -289,6 +300,8 @@ class Core:
                     f"in_flight={len(self._in_flight)})"
                 )
         self.stats.repair_walk_cycles = self.predictor.repair_stats.walk_cycles
+        if self.telemetry is not None:
+            self.stats.telemetry = self.telemetry.summary()
         return self.stats
 
     # ------------------------------------------------------------------

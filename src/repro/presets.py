@@ -20,7 +20,7 @@ Sizing follows Table I:
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from repro.components.library import standard_library
 from repro.components.tage import default_tables

@@ -1,0 +1,55 @@
+"""Human-readable rendering of telemetry summary payloads."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.telemetry.collector import UNATTRIBUTED
+
+_TABLE_COLUMNS = (
+    ("branches", "provided_branches"),
+    ("dir-right", "direction_right"),
+    ("dir-wrong", "direction_wrong"),
+    ("tgt-wrong", "target_wrong"),
+    ("ovr-won", "overrides_won"),
+    ("ovr-lost", "overrides_lost"),
+)
+
+
+def format_component_table(payload: Dict[str, Any]) -> str:
+    """Per-component counter table from a ``summary()`` payload."""
+    header = "component  " + " ".join(f"{label:>10s}" for label, _ in _TABLE_COLUMNS)
+    lines = [header, "-" * len(header)]
+    rows = dict(payload.get("components", {}))
+    unattributed = payload.get("unattributed")
+    if unattributed and any(unattributed.values()):
+        rows[UNATTRIBUTED] = unattributed
+    for name, counters in rows.items():
+        cells = " ".join(
+            f"{counters.get(field, 0):10d}" for _, field in _TABLE_COLUMNS
+        )
+        lines.append(f"{name:10s} {cells}")
+    return "\n".join(lines)
+
+
+def format_summary(payload: Dict[str, Any]) -> str:
+    """Component table plus packet / repair / occupancy headline numbers."""
+    occupancy = payload.get("occupancy", {})
+    repair = payload.get("repair", {})
+    samples = occupancy.get("samples", 0)
+    mean_occupancy = occupancy.get("total", 0) / samples if samples else 0.0
+    lines: List[str] = [
+        f"packets predicted: {payload.get('packets', 0)}",
+        (
+            f"history file: mean occupancy {mean_occupancy:.1f}, "
+            f"max {occupancy.get('max', 0)}"
+        ),
+        (
+            f"repair: {repair.get('walks', 0)} walks over "
+            f"{repair.get('entries', 0)} entries "
+            f"({repair.get('cycles', 0)} cycles)"
+        ),
+        "",
+        format_component_table(payload),
+    ]
+    return "\n".join(lines)

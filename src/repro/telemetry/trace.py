@@ -1,0 +1,122 @@
+"""Bounded JSONL event tracing with a versioned schema.
+
+A trace is a sequence of JSON objects, one per line.  The first line is a
+header record::
+
+    {"schema": 1, "kind": "repro-telemetry-trace"}
+
+Every subsequent line is one event::
+
+    {"e": "<event>", ...event-specific fields...}
+
+Event kinds mirror the COBRA interface events the collector observes
+(:mod:`repro.core.events`): ``predict``, ``fire``, ``mispredict``,
+``repair``, and ``update`` (commit).  The schema version is bumped whenever
+an event's field set changes incompatibly, so downstream tooling can reject
+traces it does not understand.
+
+Traces are *bounded*: after ``max_events`` records the trace stops
+appending and counts the overflow instead, so a long simulation cannot
+exhaust memory or disk.  The bound applies to events, not the header.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+#: Bump when an event record's field set changes incompatibly.
+TRACE_SCHEMA_VERSION = 1
+
+#: Default event bound; generous for micro-workloads, safe for long runs.
+DEFAULT_MAX_EVENTS = 100_000
+
+
+class EventTrace:
+    """Buffer (and optionally stream) telemetry events as JSONL.
+
+    Parameters
+    ----------
+    path:
+        When given, events are written to this file as they arrive (the
+        header first); :meth:`close` flushes and closes the stream.  When
+        omitted, events accumulate in :attr:`events` and can be written
+        later with :meth:`dump`.
+    max_events:
+        Hard bound on recorded events.  Events past the bound are counted
+        in :attr:`dropped` but not stored or written.
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.max_events = max_events
+        self.events: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._path = Path(path) if path is not None else None
+        self._stream = None
+        if self._path is not None:
+            self._stream = self._path.open("w")
+            self._write_line(self.header())
+
+    @staticmethod
+    def header() -> Dict[str, Any]:
+        return {"schema": TRACE_SCHEMA_VERSION, "kind": "repro-telemetry-trace"}
+
+    @property
+    def truncated(self) -> bool:
+        return self.dropped > 0
+
+    def _write_line(self, record: Dict[str, Any]) -> None:
+        self._stream.write(json.dumps(record, sort_keys=True))
+        self._stream.write("\n")
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Record one event; a no-op (plus a drop count) past the bound."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        record = {"e": event, **fields}
+        self.events.append(record)
+        if self._stream is not None:
+            self._write_line(record)
+
+    def dump(self, path: Union[str, Path]) -> None:
+        """Write the header plus all buffered events to ``path`` as JSONL."""
+        lines = [json.dumps(self.header(), sort_keys=True)]
+        lines.extend(json.dumps(record, sort_keys=True) for record in self.events)
+        Path(path).write_text("\n".join(lines) + "\n")
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def read_trace(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file; returns the header plus event records.
+
+    Raises ``ValueError`` when the header is missing or declares a schema
+    this reader does not understand.
+    """
+    records = [
+        json.loads(line)
+        for line in Path(path).read_text().splitlines()
+        if line.strip()
+    ]
+    if not records or records[0].get("kind") != "repro-telemetry-trace":
+        raise ValueError(f"{path}: not a repro telemetry trace")
+    if records[0].get("schema") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"{path}: trace schema {records[0].get('schema')!r} is not the "
+            f"supported version {TRACE_SCHEMA_VERSION}"
+        )
+    return records

@@ -30,7 +30,7 @@ string_ops        small copy/compare loops (Dhrystone flavour)
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from repro.workloads.generators import (
     emit_correlated,
     emit_data_branches,
     emit_dense_branches,
-    emit_hammock,
     emit_lcg_branches,
     emit_linked_list,
     emit_nested_loops,

@@ -6,8 +6,6 @@ import pytest
 from repro import presets
 from repro.baselines import graviton_proxy, skylake_proxy
 from repro.eval import (
-    RunResult,
-    TraceSimulator,
     harmonic_mean,
     run_suite,
     run_workload,

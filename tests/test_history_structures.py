@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.components.loop import LoopPredictor
 from repro.components.ras import ReturnAddressStack
 from repro.core.history import GlobalHistoryProvider, LocalHistoryProvider
 from repro.core.history_file import HistoryFile, HistoryFileError

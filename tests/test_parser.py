@@ -8,7 +8,7 @@ from repro.core.parser import (
     TopologyParseError,
     parse_topology,
 )
-from repro.core.topology import Arbitrate, Leaf, Override
+from repro.core.topology import Arbitrate, Override
 
 
 @pytest.fixture()

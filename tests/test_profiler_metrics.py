@@ -1,0 +1,175 @@
+"""Direct coverage of eval/profiler.py and eval/metrics.py."""
+
+import pytest
+
+from repro.eval.metrics import RunResult, arithmetic_mean, harmonic_mean
+from repro.eval.profiler import (
+    AttributedSite,
+    coverage,
+    format_attribution,
+    format_profile,
+    site_attribution,
+    top_offenders,
+)
+from repro.frontend.core import CoreStats
+from repro.isa.program import Program
+from repro.isa.instructions import Instruction, Opcode
+
+
+def _stats(mispredicts, executions=None):
+    stats = CoreStats()
+    stats.mispredicts_by_pc = dict(mispredicts)
+    stats.executions_by_pc = dict(executions or {})
+    return stats
+
+
+class TestMeans:
+    def test_harmonic_mean_basic(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 4.0]) == pytest.approx(8.0 / 3.0)
+
+    def test_harmonic_mean_dominated_by_smallest(self):
+        values = [0.1, 10.0, 10.0, 10.0]
+        assert harmonic_mean(values) < arithmetic_mean(values)
+
+    def test_harmonic_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_harmonic_mean_rejects_zero(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+
+    def test_harmonic_mean_rejects_negative(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -2.0])
+
+    def test_harmonic_mean_consumes_generators(self):
+        assert harmonic_mean(v for v in (2.0, 2.0)) == pytest.approx(2.0)
+
+    def test_arithmetic_mean_basic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([0.0]) == 0.0
+
+    def test_arithmetic_mean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            arithmetic_mean([])
+
+    def test_from_stats_copies_all_fields(self):
+        stats = CoreStats(
+            cycles=100,
+            committed_instructions=200,
+            committed_branches=40,
+            branch_mispredicts=4,
+        )
+        result = RunResult.from_stats("sys", "wl", stats)
+        assert result.cycles == 100
+        assert result.mpki == pytest.approx(20.0)
+        assert result.branch_accuracy == pytest.approx(0.9)
+        assert result.stats is stats
+        assert result.telemetry is None
+
+
+class TestTopOffenders:
+    def test_ordering_is_by_absolute_mispredicts(self):
+        stats = _stats({10: 3, 20: 9, 30: 6}, {10: 100, 20: 10, 30: 60})
+        pcs = [r.pc for r in top_offenders(stats)]
+        assert pcs == [20, 30, 10]
+
+    def test_limit_truncates(self):
+        stats = _stats({pc: pc for pc in range(1, 30)})
+        assert len(top_offenders(stats, limit=5)) == 5
+        worst = top_offenders(stats, limit=1)[0]
+        assert worst.pc == 29
+
+    def test_executions_fall_back_to_miss_count(self):
+        stats = _stats({7: 4})
+        report = top_offenders(stats)[0]
+        assert report.executions == 4
+        assert report.mispredict_rate == 1.0
+
+    def test_zero_executions_rate(self):
+        from repro.eval.profiler import SiteReport
+
+        assert SiteReport(0, 0, 0, "").mispredict_rate == 0.0
+
+    def test_instruction_text_from_program(self):
+        program = Program(
+            name="p",
+            instructions=[Instruction(Opcode.BEQ, rs1=1, imm=2)],
+            entry=0,
+        )
+        report = top_offenders(_stats({0: 1}), program)[0]
+        assert report.instruction != ""
+
+    def test_unknown_pc_renders_question_mark(self):
+        program = Program(name="p", instructions=[], entry=0)
+        report = top_offenders(_stats({99: 1}), program)[0]
+        assert report.instruction == "?"
+
+
+class TestCoverage:
+    def test_no_mispredicts(self):
+        assert coverage(_stats({})) == 0.0
+
+    def test_concentrated(self):
+        stats = _stats({1: 98, 2: 1, 3: 1})
+        assert coverage(stats, top_n=1) == pytest.approx(0.98)
+
+    def test_diffuse(self):
+        stats = _stats({pc: 1 for pc in range(100)})
+        assert coverage(stats, top_n=5) == pytest.approx(0.05)
+
+    def test_top_n_larger_than_sites(self):
+        stats = _stats({1: 2, 2: 2})
+        assert coverage(stats, top_n=10) == pytest.approx(1.0)
+
+
+class TestFormatProfile:
+    def test_empty(self):
+        assert "no mispredicts" in format_profile(_stats({}))
+
+    def test_contains_rows_and_coverage(self):
+        stats = _stats({10: 3, 20: 9}, {10: 30, 20: 90})
+        text = format_profile(stats)
+        assert "10" in text and "20" in text
+        assert "coverage" in text
+
+
+class TestSiteAttribution:
+    PAYLOAD = {
+        "sites": {
+            "10": {"tage": [90, 2], "(none)": [0, 1]},
+            "20": {"bim": [10, 8]},
+            "30": {"tage": [50, 0]},
+        }
+    }
+
+    def test_ranked_by_wrong_count(self):
+        sites = site_attribution(self.PAYLOAD)
+        assert [s.pc for s in sites] == [20, 10, 30]
+
+    def test_limit(self):
+        assert len(site_attribution(self.PAYLOAD, limit=1)) == 1
+
+    def test_counts_aggregate_providers(self):
+        site = site_attribution(self.PAYLOAD)[1]
+        assert site.pc == 10
+        assert site.right == 90
+        assert site.wrong == 3
+        assert site.worst_provider() == "tage"
+
+    def test_worst_provider_none_when_clean(self):
+        site = site_attribution(self.PAYLOAD)[2]
+        assert site.wrong == 0
+        assert site.worst_provider() is None
+        assert AttributedSite(pc=0).worst_provider() is None
+
+    def test_format_attribution(self):
+        text = format_attribution(self.PAYLOAD)
+        assert "bim" in text and "tage" in text
+        assert "30" not in text.split("\n", 1)[1]  # clean site filtered out
+
+    def test_format_attribution_empty(self):
+        assert "no attributed" in format_attribution({"sites": {}})
+        assert "no attributed" in format_attribution({})

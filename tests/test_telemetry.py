@@ -1,0 +1,274 @@
+"""Telemetry subsystem: counters, attribution, tracing, round-trips."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import presets
+from repro.core.composer import ComposedPredictor, ComposerConfig
+from repro.core.events import EVENT_NAMES
+from repro.core.topology import Leaf
+from repro.components.bimodal import HBIM
+from repro.eval.cache import ResultCache, job_fingerprint, fingerprint_key
+from repro.eval.metrics import RunResult
+from repro.eval.runner import run_suite, run_workload
+from repro.frontend.config import CoreConfig
+from repro.frontend.core import Core
+from repro.telemetry import (
+    EventTrace,
+    SUMMARY_SCHEMA_VERSION,
+    TRACE_SCHEMA_VERSION,
+    TelemetryCollector,
+    format_component_table,
+    format_summary,
+)
+from repro.telemetry.collector import UNATTRIBUTED
+from repro.telemetry.trace import read_trace
+from repro.workloads.micro import build_micro
+
+MAX_INSTRUCTIONS = 3000
+
+
+def _run(preset="tourney", workload="dispatch", **config_kwargs):
+    program = build_micro(workload, scale=0.2)
+    predictor = presets.build(preset)
+    core = Core(program, predictor, CoreConfig(**config_kwargs))
+    stats = core.run(max_instructions=MAX_INSTRUCTIONS)
+    return core, stats
+
+
+@pytest.fixture(scope="module")
+def telemetry_run():
+    core, stats = _run(telemetry=True)
+    return core, stats
+
+
+class TestCollectorBasics:
+    def test_off_by_default(self):
+        core, stats = _run()
+        assert core.telemetry is None
+        assert stats.telemetry is None
+        assert core.predictor.telemetry is None
+
+    def test_attached_when_configured(self, telemetry_run):
+        core, stats = telemetry_run
+        assert isinstance(core.telemetry, TelemetryCollector)
+        assert core.predictor.telemetry is core.telemetry
+        assert stats.telemetry is not None
+        assert stats.telemetry["schema"] == SUMMARY_SCHEMA_VERSION
+
+    def test_all_components_in_summary(self, telemetry_run):
+        core, stats = telemetry_run
+        names = {c.name for c in core.predictor.components}
+        assert set(stats.telemetry["components"]) == names
+
+    def test_lookups_count_packets(self, telemetry_run):
+        _, stats = telemetry_run
+        payload = stats.telemetry
+        assert payload["packets"] == stats.fetch_packets
+        for counters in payload["components"].values():
+            assert counters["lookups"] == payload["packets"]
+
+    def test_occupancy_bounded_by_capacity(self, telemetry_run):
+        core, stats = telemetry_run
+        occupancy = stats.telemetry["occupancy"]
+        assert 0 <= occupancy["max"] <= core.predictor.history_file.capacity
+        assert occupancy["samples"] == stats.telemetry["packets"]
+
+    def test_detach(self, telemetry_run):
+        core, _ = telemetry_run
+        predictor = presets.build("b2")
+        collector = TelemetryCollector()
+        predictor.attach_telemetry(collector)
+        assert predictor.telemetry is collector
+        predictor.detach_telemetry()
+        assert predictor.telemetry is None
+
+
+class TestAttributionInvariants:
+    """Attributed counts must tie out exactly against CoreStats."""
+
+    def test_direction_wrong_total_matches_mispredicts(self, telemetry_run):
+        _, stats = telemetry_run
+        payload = stats.telemetry
+        total = payload["unattributed"]["direction_wrong"] + sum(
+            c["direction_wrong"] for c in payload["components"].values()
+        )
+        assert total == stats.branch_mispredicts
+
+    def test_target_wrong_total_matches_mispredicts(self, telemetry_run):
+        _, stats = telemetry_run
+        payload = stats.telemetry
+        total = payload["unattributed"]["target_wrong"] + sum(
+            c["target_wrong"] for c in payload["components"].values()
+        )
+        assert total == stats.target_mispredicts
+
+    def test_site_wrongs_match_mispredicts_by_pc(self, telemetry_run):
+        _, stats = telemetry_run
+        by_pc = {}
+        for pc_text, by_provider in stats.telemetry["sites"].items():
+            wrong = sum(cell[1] for cell in by_provider.values())
+            if wrong:
+                by_pc[int(pc_text)] = wrong
+        assert by_pc == stats.mispredicts_by_pc
+
+    def test_direction_right_total_matches_commits(self, telemetry_run):
+        """Every committed, correctly-predicted branch is credited once."""
+        _, stats = telemetry_run
+        payload = stats.telemetry
+        rights = payload["unattributed"]["direction_right"] + sum(
+            c["direction_right"] for c in payload["components"].values()
+        )
+        # direction_right counts per committed packet dequeue; wrong-path
+        # packets never commit, so this ties to committed branches minus
+        # the mispredicted ones (those are charged wrong at resolve time).
+        assert rights == stats.committed_branches - stats.branch_mispredicts
+
+    def test_single_leaf_gets_all_attribution(self):
+        """With one always-hitting component, nothing else can provide."""
+        program = build_micro("biased", scale=0.2)
+        bim = HBIM("bim", latency=2, n_sets=256, fetch_width=4)
+        predictor = ComposedPredictor(Leaf(bim), ComposerConfig(fetch_width=4))
+        core = Core(program, predictor, CoreConfig(telemetry=True))
+        stats = core.run(max_instructions=MAX_INSTRUCTIONS)
+        payload = stats.telemetry
+        assert set(payload["components"]) == {"bim"}
+        assert payload["unattributed"]["direction_wrong"] == 0
+        assert (
+            payload["components"]["bim"]["direction_wrong"]
+            == stats.branch_mispredicts
+        )
+        for by_provider in payload["sites"].values():
+            assert set(by_provider) == {"bim"}
+
+
+class TestZeroPerturbation:
+    def test_stats_identical_with_and_without_telemetry(self):
+        _, plain = _run()
+        _, telem = _run(telemetry=True)
+        d_plain = dataclasses.asdict(plain)
+        d_telem = dataclasses.asdict(telem)
+        assert d_plain.pop("telemetry") is None
+        assert d_telem.pop("telemetry") is not None
+        assert d_plain == d_telem
+
+
+class TestSummaryPayload:
+    def test_json_canonical(self, telemetry_run):
+        _, stats = telemetry_run
+        payload = stats.telemetry
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped == payload
+
+    def test_report_rendering(self, telemetry_run):
+        _, stats = telemetry_run
+        table = format_component_table(stats.telemetry)
+        summary = format_summary(stats.telemetry)
+        for name in stats.telemetry["components"]:
+            assert name in table
+        assert "packets predicted" in summary
+
+
+class TestEventTrace:
+    def test_bounding(self):
+        trace = EventTrace(max_events=3)
+        for i in range(10):
+            trace.emit("predict", pc=i)
+        assert len(trace) == 3
+        assert trace.dropped == 7
+        assert trace.truncated
+
+    def test_dump_and_read_round_trip(self, tmp_path):
+        trace = EventTrace(max_events=100)
+        trace.emit("predict", pc=1)
+        trace.emit("update", pc=1)
+        target = tmp_path / "trace.jsonl"
+        trace.dump(target)
+        records = read_trace(target)
+        assert records[0]["schema"] == TRACE_SCHEMA_VERSION
+        assert [r["e"] for r in records[1:]] == ["predict", "update"]
+
+    def test_read_rejects_wrong_schema(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text(
+            json.dumps({"schema": 999, "kind": "repro-telemetry-trace"}) + "\n"
+        )
+        with pytest.raises(ValueError):
+            read_trace(target)
+
+    def test_read_rejects_non_trace(self, tmp_path):
+        target = tmp_path / "bad.jsonl"
+        target.write_text("{}\n")
+        with pytest.raises(ValueError):
+            read_trace(target)
+
+    def test_streaming_run_produces_valid_trace(self, tmp_path):
+        target = tmp_path / "run.jsonl"
+        program = build_micro("biased", scale=0.2)
+        result = run_workload(
+            "b2",
+            program,
+            max_instructions=MAX_INSTRUCTIONS,
+            trace_path=target,
+        )
+        assert result.telemetry is not None
+        records = read_trace(target)
+        kinds = {r["e"] for r in records[1:]}
+        assert kinds <= set(EVENT_NAMES)
+        assert "predict" in kinds and "update" in kinds
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            EventTrace(max_events=0)
+
+
+class TestRoundTrips:
+    def test_cache_round_trip_is_exact(self, tmp_path, telemetry_run):
+        _, stats = telemetry_run
+        result = RunResult.from_stats("tourney", "dispatch", stats)
+        cache = ResultCache(tmp_path / "cache")
+        key = fingerprint_key(
+            job_fingerprint(
+                presets.build("tourney"),
+                build_micro("dispatch", scale=0.2),
+                CoreConfig(telemetry=True),
+                MAX_INSTRUCTIONS,
+            )
+        )
+        cache.put(key, result)
+        loaded = cache.get(key)
+        assert loaded.telemetry == result.telemetry
+        assert loaded == result
+
+    def test_telemetry_flag_changes_fingerprint(self):
+        predictor = presets.build("b2")
+        program = build_micro("biased", scale=0.2)
+        plain = fingerprint_key(
+            job_fingerprint(predictor, program, CoreConfig(), 1000)
+        )
+        telem = fingerprint_key(
+            job_fingerprint(predictor, program, CoreConfig(telemetry=True), 1000)
+        )
+        assert plain != telem
+
+    def test_run_suite_parallel_carries_telemetry(self):
+        programs = {"biased": build_micro("biased", scale=0.2)}
+        serial = run_suite(
+            ["b2"], programs, max_instructions=MAX_INSTRUCTIONS, telemetry=True
+        )
+        parallel = run_suite(
+            ["b2"],
+            programs,
+            max_instructions=MAX_INSTRUCTIONS,
+            telemetry=True,
+            jobs=2,
+        )
+        payload = serial["b2"]["biased"].telemetry
+        assert payload is not None
+        assert parallel["b2"]["biased"].telemetry == payload
+
+    def test_unattributed_key_reserved(self, telemetry_run):
+        _, stats = telemetry_run
+        assert UNATTRIBUTED not in stats.telemetry["components"]

@@ -10,7 +10,6 @@ from repro.eval import (
     format_profile,
     load_results,
     run_suite,
-    run_workload,
     save_results,
     top_offenders,
 )
