@@ -1,0 +1,47 @@
+"""Static analysis of predictor compositions (``repro check``).
+
+Three analyzers over the COBRA framework's own artifacts:
+
+- :mod:`repro.analysis.topology_check` — structural analysis of parsed
+  topology trees (TOP rules);
+- :mod:`repro.analysis.contracts` — a dynamic harness driving every library
+  component through the §III interface contract (CON rules);
+- :mod:`repro.analysis.lints` — AST lints for reproducibility hazards in
+  the source tree (RPR rules).
+
+All three emit :class:`~repro.analysis.diagnostics.Diagnostic` records with
+stable rule codes; ``docs/static_analysis.md`` is the rule catalog.
+"""
+
+from repro.analysis.contracts import (
+    check_component,
+    check_library,
+    state_fingerprint,
+)
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_SCHEMA,
+    RULES,
+    Diagnostic,
+    exit_code,
+    filter_ignored,
+    to_json,
+    validate_report,
+)
+from repro.analysis.lints import lint_paths
+from repro.analysis.topology_check import check_spec, check_topology
+
+__all__ = [
+    "DIAGNOSTIC_SCHEMA",
+    "Diagnostic",
+    "RULES",
+    "check_component",
+    "check_library",
+    "check_spec",
+    "check_topology",
+    "exit_code",
+    "filter_ignored",
+    "lint_paths",
+    "state_fingerprint",
+    "to_json",
+    "validate_report",
+]

@@ -1,0 +1,457 @@
+"""Dynamic contract checking of predictor sub-components (CON rules).
+
+Drives every component the library can build through a seeded stimulus and
+checks the §III interface invariants that static inspection cannot see:
+metadata widths, predict_in pass-through, latency-1 history isolation
+(Fig. 2), reset completeness, fire/repair round-trips, storage accounting,
+and same-seed determinism.
+
+Rules
+-----
+======  ========================================================
+code    finding (all errors)
+======  ========================================================
+CON001  metadata does not fit the declared meta_bits
+CON002  predict_in slots not predicted are not passed through
+CON003  latency-1 component's output depends on a history
+CON004  reset() does not restore the power-on state
+CON005  fire followed by on_repair does not round-trip state
+CON006  storage() breakdown does not sum to declared totals
+CON007  same seed, different behavior (non-determinism)
+======  ========================================================
+
+Determinism and reset are checked with *state fingerprints*: a canonical
+hash over the component's full object graph (numpy arrays by dtype, shape
+and bytes; containers recursively; plain objects by attribute).  Two
+instances built the same way fingerprint identically, so "reset restores
+power-on state" reduces to comparing a driven-then-reset instance against
+an untouched twin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from collections import deque
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.diagnostics import Diagnostic, diagnostic
+from repro.core.events import PredictRequest, UpdateBundle
+from repro.core.interface import InterfaceError, PredictorComponent
+from repro.core.parser import ComponentLibrary
+from repro.core.prediction import PredictionVector, SlotPrediction, packet_span
+
+DEFAULT_SEED = 0xC0B7A
+DEFAULT_STEPS = 48
+_FETCH_WIDTH = 4
+_TARGET_BITS = 30
+
+
+# ----------------------------------------------------------------------
+# State fingerprinting
+# ----------------------------------------------------------------------
+def _feed(digest, obj, seen) -> None:
+    if obj is None or isinstance(obj, (bool, int, float, str, bytes)):
+        digest.update(repr(obj).encode())
+        return
+    if isinstance(obj, np.ndarray):
+        digest.update(b"ndarray")
+        digest.update(str(obj.dtype).encode())
+        digest.update(str(obj.shape).encode())
+        digest.update(np.ascontiguousarray(obj).tobytes())
+        return
+    if isinstance(obj, np.generic):
+        digest.update(repr(obj.item()).encode())
+        return
+    marker = id(obj)
+    if marker in seen:
+        digest.update(b"cycle")
+        return
+    seen.add(marker)
+    try:
+        if isinstance(obj, (list, tuple, deque)):
+            digest.update(f"seq{len(obj)}".encode())
+            for item in obj:
+                _feed(digest, item, seen)
+        elif isinstance(obj, dict):
+            digest.update(f"map{len(obj)}".encode())
+            for key in sorted(obj, key=repr):
+                digest.update(repr(key).encode())
+                _feed(digest, obj[key], seen)
+        elif isinstance(obj, (set, frozenset)):
+            digest.update(f"set{len(obj)}".encode())
+            for item in sorted(obj, key=repr):
+                digest.update(repr(item).encode())
+        elif callable(obj) and not hasattr(obj, "__dict__"):
+            digest.update(getattr(obj, "__qualname__", repr(type(obj))).encode())
+        else:
+            digest.update(type(obj).__name__.encode())
+            attrs = {}
+            if hasattr(obj, "__dict__"):
+                attrs.update(vars(obj))
+            for slot in getattr(type(obj), "__slots__", ()):
+                if hasattr(obj, slot):
+                    attrs[slot] = getattr(obj, slot)
+            for key in sorted(attrs):
+                if callable(attrs[key]) and not isinstance(
+                    attrs[key], PredictorComponent
+                ):
+                    continue
+                digest.update(key.encode())
+                _feed(digest, attrs[key], seen)
+    finally:
+        seen.discard(marker)
+
+
+def state_fingerprint(obj) -> str:
+    """Canonical hash of an object graph's architectural state."""
+    digest = hashlib.sha256()
+    _feed(digest, obj, set())
+    return digest.hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Stimulus
+# ----------------------------------------------------------------------
+def _random_vector(
+    rng: random.Random, fetch_pc: int, width: int
+) -> PredictionVector:
+    slots = []
+    for _ in range(width):
+        roll = rng.random()
+        if roll < 0.45:
+            slots.append(
+                SlotPrediction(
+                    hit=True,
+                    is_branch=True,
+                    taken=rng.random() < 0.5,
+                    target=rng.getrandbits(_TARGET_BITS)
+                    if rng.random() < 0.5
+                    else None,
+                )
+            )
+        elif roll < 0.6:
+            slots.append(
+                SlotPrediction(
+                    hit=True,
+                    is_jump=True,
+                    taken=True,
+                    target=rng.getrandbits(_TARGET_BITS),
+                )
+            )
+        else:
+            slots.append(SlotPrediction())
+    return PredictionVector(fetch_pc, slots)
+
+
+def _stimulus(
+    rng: random.Random, n_inputs: int
+) -> Tuple[PredictRequest, List[PredictionVector]]:
+    fetch_pc = rng.getrandbits(20)
+    width = packet_span(fetch_pc, _FETCH_WIDTH)
+    req = PredictRequest(
+        fetch_pc,
+        width,
+        ghist=rng.getrandbits(64),
+        lhist=rng.getrandbits(32),
+        phist=rng.getrandbits(32),
+    )
+    inputs = [_random_vector(rng, fetch_pc, width) for _ in range(n_inputs)]
+    return req, inputs
+
+
+def _bundle(
+    rng: random.Random,
+    req: PredictRequest,
+    out: PredictionVector,
+    inputs: Sequence[PredictionVector],
+    meta: int,
+    mispredicted: bool = False,
+) -> UpdateBundle:
+    br_mask = tuple(
+        any(v.slots[i].is_branch for v in inputs) for i in range(req.width)
+    )
+    taken_mask = tuple(
+        br_mask[i] and bool(out.slots[i].taken) for i in range(req.width)
+    )
+    branch_lanes = [i for i in range(req.width) if br_mask[i]]
+    cfi_idx = branch_lanes[0] if branch_lanes and rng.random() < 0.7 else None
+    return UpdateBundle(
+        fetch_pc=req.fetch_pc,
+        width=req.width,
+        ghist=req.ghist,
+        lhist=req.lhist,
+        phist=req.phist,
+        meta=meta,
+        br_mask=br_mask,
+        taken_mask=taken_mask,
+        cfi_idx=cfi_idx,
+        cfi_taken=bool(cfi_idx is not None and taken_mask[cfi_idx]),
+        cfi_target=rng.getrandbits(_TARGET_BITS) if cfi_idx is not None else None,
+        cfi_is_br=cfi_idx is not None,
+        mispredicted=mispredicted,
+        mispredict_idx=cfi_idx if mispredicted else None,
+    )
+
+
+def _slot_key(slot: SlotPrediction) -> tuple:
+    return (slot.hit, slot.is_branch, slot.is_jump, slot.taken, slot.target)
+
+
+# ----------------------------------------------------------------------
+# Per-component checks
+# ----------------------------------------------------------------------
+class _Reporter:
+    def __init__(self, subject: str):
+        self.subject = subject
+        self.diags: List[Diagnostic] = []
+        self._seen_codes = set()
+
+    def report(self, code: str, message: str) -> None:
+        # One diagnostic per (component, rule): the first failing step is
+        # enough to act on, and repeats would drown the report.
+        if code in self._seen_codes:
+            return
+        self._seen_codes.add(code)
+        self.diags.append(diagnostic(code, message, self.subject))
+
+
+def _check_lookup_contract(
+    component: PredictorComponent,
+    req: PredictRequest,
+    inputs: List[PredictionVector],
+    out: PredictionVector,
+    meta: int,
+    report: _Reporter,
+    step: int,
+) -> None:
+    """CON001 (meta width) and CON002 (pass-through / input mutation)."""
+    try:
+        component.check_meta(meta)
+    except InterfaceError as exc:
+        report.report("CON001", f"step {step}: {exc}")
+
+    if component.n_inputs == 1 and not component.provides_targets:
+        # Direction predictors must not disturb incoming jump predictions:
+        # the slot's kind, direction, and target pass through (§III-F).
+        for i, in_slot in enumerate(inputs[0].slots):
+            out_slot = out.slots[i]
+            if in_slot.is_jump and (
+                not out_slot.is_jump
+                or out_slot.target != in_slot.target
+                or out_slot.taken != in_slot.taken
+            ):
+                report.report(
+                    "CON002",
+                    f"step {step}: jump slot {i} came in as "
+                    f"{_slot_key(in_slot)} and left as {_slot_key(out_slot)}; "
+                    f"unpredicted fields must pass through verbatim",
+                )
+                break
+    if component.n_inputs > 1:
+        # A selector's directions must come from its inputs: it chooses
+        # among predictions, it does not invent them (§III-F).
+        for i, out_slot in enumerate(out.slots):
+            if not out_slot.hit or out_slot.is_jump:
+                continue
+            candidates = {v.slots[i].taken for v in inputs if v.slots[i].hit}
+            candidates.add(inputs[0].slots[i].taken)  # pass-through default
+            if out_slot.taken not in candidates:
+                report.report(
+                    "CON002",
+                    f"step {step}: selector produced direction "
+                    f"{out_slot.taken} on slot {i}, matching none of its "
+                    f"predict_in vectors",
+                )
+                break
+
+
+def _check_input_mutation(
+    inputs: List[PredictionVector],
+    snapshots: List[PredictionVector],
+    report: _Reporter,
+    step: int,
+) -> None:
+    for k, (vector, snapshot) in enumerate(zip(inputs, snapshots)):
+        if vector != snapshot:
+            report.report(
+                "CON002",
+                f"step {step}: lookup mutated predict_in[{k}] in place; "
+                f"components must copy before overriding",
+            )
+
+
+def _drive(
+    component: PredictorComponent,
+    seed: int,
+    steps: int,
+    report: Optional[_Reporter] = None,
+    check_fire_repair: bool = False,
+) -> List[tuple]:
+    """Run the stimulus; optionally check contracts; return an output log."""
+    rng = random.Random(seed)
+    log: List[tuple] = []
+    overrides_fire = type(component).fire is not PredictorComponent.fire
+    for step in range(steps):
+        req, inputs = _stimulus(rng, component.n_inputs)
+        snapshots = [v.copy() for v in inputs]
+        out, meta = component.lookup(req, inputs)
+        if report is not None:
+            _check_lookup_contract(component, req, inputs, out, meta, report, step)
+            _check_input_mutation(inputs, snapshots, report, step)
+        log.append((req.fetch_pc, meta, tuple(_slot_key(s) for s in out.slots)))
+
+        bundle = _bundle(rng, req, out, inputs, meta)
+        if overrides_fire:
+            if check_fire_repair and report is not None:
+                before = state_fingerprint(component)
+                component.fire(bundle)
+                component.on_repair(bundle)
+                if state_fingerprint(component) != before:
+                    report.report(
+                        "CON005",
+                        f"step {step}: state after fire + on_repair differs "
+                        f"from the state before fire; repair must undo the "
+                        f"speculative update exactly",
+                    )
+                component.fire(bundle)  # keep speculative state advancing
+            else:
+                component.fire(bundle)
+        event = rng.random()
+        if event < 0.25:
+            component.on_mispredict(
+                _bundle(rng, req, out, inputs, meta, mispredicted=True)
+            )
+        elif event < 0.4 and overrides_fire:
+            component.on_repair(bundle)
+        else:
+            component.on_update(bundle)
+    return log
+
+
+def check_component(
+    factory: Callable[[str, int], PredictorComponent],
+    base: str,
+    latency: int = 2,
+    seed: int = DEFAULT_SEED,
+    steps: int = DEFAULT_STEPS,
+) -> List[Diagnostic]:
+    """Run the full CON rule set against one component factory."""
+    subject = f"{base}{latency}"
+    report = _Reporter(subject)
+    try:
+        component = factory(f"{base.lower()}_a", latency)
+        twin = factory(f"{base.lower()}_a", latency)
+    except Exception as exc:
+        return [
+            diagnostic(
+                "CON007",
+                f"factory raised while instantiating at latency {latency}: "
+                f"{exc}",
+                subject,
+            )
+        ]
+
+    # CON006: storage accounting (static — check before driving).
+    storage = component.storage()
+    declared = storage.sram_bits + storage.flop_bits
+    if storage.breakdown and sum(storage.breakdown.values()) != declared:
+        report.report(
+            "CON006",
+            f"storage breakdown sums to {sum(storage.breakdown.values())} "
+            f"bits but sram_bits + flop_bits = {declared}",
+        )
+    if storage.sram_bits < 0 or storage.flop_bits < 0 or storage.access_bits < 0:
+        report.report("CON006", "storage report contains negative bit counts")
+
+    # CON001/CON002/CON005 + stimulus drive.
+    log_a = _drive(component, seed, steps, report, check_fire_repair=True)
+
+    # CON004: a driven-then-reset instance must fingerprint identically to
+    # an untouched twin.
+    component.reset()
+    if state_fingerprint(component) != state_fingerprint(twin):
+        report.report(
+            "CON004",
+            "reset() left state behind: the driven-then-reset instance "
+            "differs from a freshly constructed twin",
+        )
+
+    # CON007: same seed, same behavior.  The twin replays the identical
+    # stimulus; outputs, metadata, and the final fingerprint must match.
+    log_b = _drive(twin, seed, steps, report=None, check_fire_repair=False)
+    replay = factory(f"{base.lower()}_a", latency)
+    log_c = _drive(replay, seed, steps, report=None, check_fire_repair=False)
+    if log_b != log_c or state_fingerprint(twin) != state_fingerprint(replay):
+        report.report(
+            "CON007",
+            "two instances fed the identical seeded stimulus diverged; "
+            "component behavior must be a pure function of its inputs",
+        )
+    del log_a
+
+    # CON003: if the component can be built at latency 1, its output must
+    # not depend on any history field — histories only arrive at the end of
+    # cycle 1 (Fig. 2), so a latency-1 response physically cannot see them.
+    try:
+        fast = factory(f"{base.lower()}_a", 1)
+    except Exception:
+        fast = None  # construction rejects latency 1: contract upheld
+    if fast is not None:
+        rng = random.Random(seed)
+        violated = False
+        for step in range(steps // 2):
+            if violated:
+                break
+            req, inputs = _stimulus(rng, fast.n_inputs)
+            out_a, meta_a = fast.lookup(req, [v.copy() for v in inputs])
+            # Perturb each history independently, single-bit and full-width
+            # flips both, so neither parity tricks nor wide hashes escape.
+            for field in ("ghist", "lhist", "phist"):
+                for flip in (1, (1 << 64) - 1):
+                    shifted = PredictRequest(
+                        req.fetch_pc,
+                        req.width,
+                        ghist=req.ghist ^ (flip if field == "ghist" else 0),
+                        lhist=req.lhist ^ (flip if field == "lhist" else 0),
+                        phist=req.phist ^ (flip if field == "phist" else 0),
+                    )
+                    out_b, meta_b = fast.lookup(
+                        shifted, [v.copy() for v in inputs]
+                    )
+                    if meta_a != meta_b or any(
+                        _slot_key(a) != _slot_key(b)
+                        for a, b in zip(out_a.slots, out_b.slots)
+                    ):
+                        report.report(
+                            "CON003",
+                            f"step {step}: at latency 1 the output changed "
+                            f"when only {field} changed; histories are not "
+                            f"available to latency-1 components (Fig. 2)",
+                        )
+                        violated = True
+                        break
+                if violated:
+                    break
+
+    return report.diags
+
+
+def check_library(
+    library: Optional[ComponentLibrary] = None,
+    seed: int = DEFAULT_SEED,
+    steps: int = DEFAULT_STEPS,
+) -> List[Diagnostic]:
+    """Run the contract harness over every base name in the library."""
+    if library is None:
+        from repro.components.library import standard_library
+
+        library = standard_library()
+    diags: List[Diagnostic] = []
+    for base in library.known():
+        diags.extend(
+            check_component(library.factory(base), base, seed=seed, steps=steps)
+        )
+    return diags

@@ -8,6 +8,7 @@ Commands
 - ``storage``  — Table-I style storage summary of the three presets.
 - ``topology`` — parse and describe a topology string (sanity check).
 - ``golden``   — check or regenerate the committed golden-stats snapshot.
+- ``check``    — static analysis: topology, component contracts, lints.
 """
 
 from __future__ import annotations
@@ -189,6 +190,84 @@ def _cmd_topology(args) -> int:
     return 0
 
 
+def _cmd_check(args) -> int:
+    from repro.analysis import diagnostics as diag_mod
+    from repro.analysis.contracts import check_library
+    from repro.analysis.lints import lint_paths
+    from repro.analysis.topology_check import (
+        DEFAULT_META_BUDGET,
+        check_spec,
+        check_topology,
+    )
+    from repro.core.composer import ComposerConfig
+
+    run_topologies = list(args.topology or [])
+    run_components = args.components
+    run_lint = args.lint
+    if args.all:
+        run_components = True
+        run_lint = True
+    if not (run_topologies or run_components or run_lint or args.all):
+        print(
+            "nothing to check: pass --topology SPEC, --components, --lint, "
+            "or --all",
+            file=sys.stderr,
+        )
+        return 2
+
+    config_kwargs = {}
+    if args.ghist_bits is not None:
+        config_kwargs["global_history_bits"] = args.ghist_bits
+    if args.lhist_bits is not None:
+        config_kwargs["local_history_bits"] = args.lhist_bits
+    config = ComposerConfig(**config_kwargs) if config_kwargs else None
+    meta_budget = args.meta_budget or DEFAULT_META_BUDGET
+
+    diags: List[diag_mod.Diagnostic] = []
+    for spec in run_topologies:
+        key = spec.lower().replace("-", "_")
+        if key in presets.PRESET_NAMES:
+            predictor = presets.build(key)
+            diags.extend(
+                check_topology(
+                    predictor.topology,
+                    config or predictor.config,
+                    meta_budget,
+                    subject=key,
+                )
+            )
+        else:
+            diags.extend(check_spec(spec, config=config, meta_budget=meta_budget))
+    if args.all:
+        # Every shipped preset, analyzed against its own composed config.
+        for name in presets.PRESET_NAMES:
+            predictor = presets.build(name)
+            diags.extend(
+                check_topology(
+                    predictor.topology,
+                    predictor.config,
+                    meta_budget,
+                    subject=name,
+                )
+            )
+    if run_components:
+        diags.extend(check_library())
+    if run_lint:
+        diags.extend(lint_paths(args.lint_path or None))
+
+    diags = diag_mod.filter_ignored(diags, args.ignore or [])
+    code = diag_mod.exit_code(diags, strict=args.strict)
+    if args.json:
+        print(diag_mod.to_json(diags))
+        return code
+    for d in diags:
+        print(d.format())
+    errors = diag_mod.count_errors(diags)
+    warnings = diag_mod.count_warnings(diags)
+    print(f"repro check: {errors} error(s), {warnings} warning(s)")
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -252,6 +331,44 @@ def build_parser() -> argparse.ArgumentParser:
                         help="snapshot location (default: goldens/"
                              "golden_stats.json)")
     golden.set_defaults(func=_cmd_golden)
+
+    check = sub.add_parser(
+        "check",
+        help="static analysis: topology structure, component contracts, "
+             "source lints",
+    )
+    check.add_argument("--topology", action="append", metavar="SPEC",
+                       help="analyze a topology string or preset name "
+                            "(repeatable)")
+    check.add_argument("--components", action="store_true",
+                       help="drive every library component through the "
+                            "interface-contract harness (CON rules)")
+    check.add_argument("--lint", action="store_true",
+                       help="run the reproducibility lints (RPR rules)")
+    check.add_argument("--all", action="store_true",
+                       help="components + lints + every shipped preset "
+                            "topology")
+    check.add_argument("--json", action="store_true",
+                       help="emit the machine-readable diagnostics document "
+                            "(see docs/static_analysis.md for the schema)")
+    check.add_argument("--strict", action="store_true",
+                       help="exit non-zero on warnings, not just errors")
+    check.add_argument("--ignore", nargs="+", default=None, metavar="CODE",
+                       help="suppress diagnostics by rule code")
+    check.add_argument("--lint-path", action="append", default=None,
+                       metavar="PATH",
+                       help="lint these files/directories instead of "
+                            "src/repro (repeatable)")
+    check.add_argument("--ghist-bits", type=int, default=None,
+                       help="analyze topologies against this global-history "
+                            "length instead of the default config")
+    check.add_argument("--lhist-bits", type=int, default=None,
+                       help="analyze topologies against this local-history "
+                            "length instead of the default config")
+    check.add_argument("--meta-budget", type=int, default=None, metavar="BITS",
+                       help="per-entry metadata budget for TOP007 "
+                            "(default 256)")
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -56,6 +56,12 @@ class HBIM(PredictorComponent):
             uses_local_history=self._scheme.uses_local_history,
         )
         self.uses_path_history = self._scheme.uses_path_history
+        if self._scheme.uses_global_history:
+            self.required_ghist_bits = history_bits
+        elif self._scheme.uses_local_history:
+            self.required_lhist_bits = history_bits
+        elif self.uses_path_history:
+            self.required_phist_bits = history_bits
         if latency < 2 and self.uses_path_history:
             from repro.core.interface import InterfaceError
 

@@ -137,17 +137,27 @@ class BTB(PredictorComponent):
         tag_bits = entries * (self.tag_bits + 1)
         slot_bits = entries * self.fetch_width * (TARGET_BITS + 2)
         per_way = self.tag_bits + 1 + self.fetch_width * (TARGET_BITS + 2)
+        replace_bits = int(
+            self._replace_ptr.size * max(1, (self.n_ways - 1).bit_length())
+        )
         return StorageReport(
             self.name,
             sram_bits=tag_bits + slot_bits,
-            flop_bits=int(self._replace_ptr.size * max(1, (self.n_ways - 1).bit_length())),
-            breakdown={"tags": tag_bits, "targets": slot_bits},
+            flop_bits=replace_bits,
+            breakdown={
+                "tags": tag_bits,
+                "targets": slot_bits,
+                "replacement": replace_bits,
+            },
             access_bits=self.n_ways * per_way,  # all ways read in parallel
         )
 
     def reset(self) -> None:
         self._valid.fill(False)
+        self._tags.fill(0)
         self._slot_valid.fill(False)
+        self._slot_jump.fill(False)
+        self._targets.fill(0)
         self._replace_ptr.fill(0)
 
 
@@ -282,5 +292,9 @@ class MicroBTB(PredictorComponent):
 
     def reset(self) -> None:
         self._valid.fill(False)
+        self._tags.fill(0)
+        self._cfi_idx.fill(0)
+        self._is_jump.fill(False)
+        self._targets.fill(0)
         self._ctrs.fill(0)
         self._alloc_ptr = 0

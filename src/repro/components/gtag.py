@@ -48,6 +48,7 @@ class GTag(PredictorComponent):
             meta_bits=self._codec.width,
             uses_global_history=True,
         )
+        self.required_ghist_bits = history_bits
         self.n_sets = n_sets
         self.fetch_width = fetch_width
         self.history_bits = history_bits
@@ -135,4 +136,5 @@ class GTag(PredictorComponent):
 
     def reset(self) -> None:
         self._valid.fill(False)
+        self._tags.fill(0)
         self._ctrs.fill(self._weak_nt)

@@ -69,6 +69,7 @@ class ITTAGE(PredictorComponent):
         self.history_lengths = geometric_history_lengths(
             n_tables, min_history, max_history
         )
+        self.required_ghist_bits = max(self.history_lengths)
         self._index_bits = log2_exact(n_sets)
         n = len(self.history_lengths)
         self._valid = [np.zeros(n_sets, dtype=bool) for _ in range(n)]
@@ -179,4 +180,7 @@ class ITTAGE(PredictorComponent):
     def reset(self) -> None:
         for table in range(len(self.history_lengths)):
             self._valid[table].fill(False)
+            self._tags[table].fill(0)
+            self._lanes[table].fill(0)
+            self._targets[table].fill(0)
             self._conf[table].fill(0)

@@ -50,6 +50,7 @@ class Perceptron(PredictorComponent):
         )
         self.n_entries = n_entries
         self.fetch_width = fetch_width
+        self.required_ghist_bits = history_bits
         self.history_bits = history_bits
         self.weight_bits = weight_bits
         self._index_bits = log2_exact(n_entries)

@@ -59,6 +59,7 @@ class StatisticalCorrector(PredictorComponent):
             meta_bits=self._codec.width,
             uses_global_history=True,
         )
+        self.required_ghist_bits = max(history_lengths)
         self.n_sets = n_sets
         self.fetch_width = fetch_width
         self.history_lengths = list(history_lengths)

@@ -120,6 +120,7 @@ class TAGE(PredictorComponent):
             meta_bits=self._codec.width,
             uses_global_history=True,
         )
+        self.required_ghist_bits = max(cfg.history_bits for cfg in self.tables)
         self.fetch_width = fetch_width
         self.counter_bits = counter_bits
         self.u_bits = u_bits
@@ -359,7 +360,11 @@ class TAGE(PredictorComponent):
     def reset(self) -> None:
         for table in range(len(self.tables)):
             self._valid[table].fill(False)
+            self._tags[table].fill(0)
             self._ctrs[table].fill(self._weak_nt)
             self._useful[table].fill(0)
+        # The allocation LFSR is architectural state: leaving it mid-sequence
+        # would make a reset predictor diverge from a freshly built one.
+        self._lfsr = _Lfsr()
         self._use_alt_on_na = 8
         self._update_count = 0

@@ -55,6 +55,7 @@ class Tourney(PredictorComponent):
             uses_global_history=True,
             n_inputs=2,
         )
+        self.required_ghist_bits = history_bits
         self.n_sets = n_sets
         self.fetch_width = fetch_width
         self.history_bits = history_bits

@@ -89,6 +89,8 @@ class TwoLevel(PredictorComponent):
             # GAg/GAp read the composer's global history; PAg/PAp own theirs.
             uses_global_history=variant.startswith("G"),
         )
+        if variant.startswith("G"):
+            self.required_ghist_bits = history_bits
         self.variant = variant
         self.fetch_width = fetch_width
         self.history_bits = history_bits

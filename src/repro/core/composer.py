@@ -97,6 +97,17 @@ class ComposerConfig:
             raise ValueError(
                 f"unknown ghist repair mode {self.ghist_repair_mode!r}"
             )
+        if self.ghist_repair_bubbles < 0:
+            raise ValueError(
+                f"ghist_repair_bubbles must be >= 0, got "
+                f"{self.ghist_repair_bubbles} (a mispredict cannot repay "
+                f"fetch cycles)"
+            )
+        if self.ghist_corruption_window < 0:
+            raise ValueError(
+                f"ghist_corruption_window must be >= 0, got "
+                f"{self.ghist_corruption_window}"
+            )
 
 
 @dataclass

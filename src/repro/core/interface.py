@@ -123,6 +123,18 @@ class PredictorComponent(abc.ABC):
         #: Consumes the path history (§IV-B3 extension); same Fig. 2 timing
         #: as the other histories, so latency-1 components may not use it.
         self.uses_path_history = False
+        #: Library base name in the paper's notation (set by the topology
+        #: parser; defaults to the instance name for hand-built components).
+        self.base_name = name.upper()
+        #: History-length demands: how many bits of each history this
+        #: component's hashes actually consume.  Components that declare a
+        #: history should set these after ``super().__init__`` so the static
+        #: analyzer can reconcile them against the composed core's history
+        #: provider lengths (``repro check``, rule TOP006).  Zero means "any
+        #: length satisfies me".
+        self.required_ghist_bits = 0
+        self.required_lhist_bits = 0
+        self.required_phist_bits = 0
 
     # ------------------------------------------------------------------
     # Predict

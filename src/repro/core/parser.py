@@ -26,7 +26,31 @@ ComponentFactory = Callable[[str, int], PredictorComponent]
 
 
 class TopologyParseError(Exception):
-    """Raised for malformed topology strings."""
+    """Raised for malformed topology strings.
+
+    When the offending source position is known, the error carries it:
+    ``spec`` is the full topology string, ``pos`` the 0-based character
+    offset, and ``column`` the 1-based column.  The rendered message then
+    includes a caret snippet pointing at the offending token::
+
+        expected NAME, found GT
+          TOURNEY3 > > LBIM2
+                     ^ column 12
+    """
+
+    def __init__(self, message: str, spec: Optional[str] = None,
+                 pos: Optional[int] = None):
+        self.reason = message
+        self.spec = spec
+        self.pos = pos
+        self.column = None if pos is None else pos + 1
+        if spec is not None and pos is not None:
+            caret_pos = min(pos, len(spec))
+            message = (
+                f"{message}\n  {spec}\n  "
+                f"{' ' * caret_pos}^ column {caret_pos + 1}"
+            )
+        super().__init__(message)
 
 
 class ComponentLibrary:
@@ -56,6 +80,15 @@ class ComponentLibrary:
     def known(self) -> List[str]:
         return sorted(self._factories)
 
+    def factory(self, base_name: str) -> ComponentFactory:
+        """The registered factory for a base name (as :meth:`register` saw it)."""
+        key = base_name.upper()
+        if key not in self._factories:
+            raise TopologyParseError(
+                f"unknown component {key!r}; library provides {self.known()}"
+            )
+        return self._factories[key]
+
     def instantiate(self, base_name: str, instance_name: str, latency: int):
         key = base_name.upper()
         if key not in self._factories:
@@ -74,14 +107,22 @@ class ComponentLibrary:
 class _Token(NamedTuple):
     kind: str  # NAME | GT | LBRACKET | RBRACKET | COMMA | LPAREN | RPAREN
     text: str
+    #: 0-based character offset of the token's first character in the spec.
+    pos: int
 
 
+#: A NAME is any identifier ending in a digit: the trailing digit run is the
+#: latency, and interior digits are part of the base name (``L2BIM2`` is the
+#: component ``L2BIM`` at latency 2).
 _TOKEN_RE = re.compile(
-    r"\s*(?:(?P<NAME>[A-Za-z_][A-Za-z_]*\d+)|(?P<GT>>)|(?P<LBRACKET>\[)"
+    r"\s*(?:(?P<NAME>[A-Za-z_][A-Za-z0-9_]*\d)|(?P<GT>>)|(?P<LBRACKET>\[)"
     r"|(?P<RBRACKET>\])|(?P<COMMA>,)|(?P<LPAREN>\()|(?P<RPAREN>\)))"
 )
 
-_NAME_RE = re.compile(r"(?P<base>[A-Za-z_][A-Za-z_]*?)(?P<latency>\d+)$")
+#: Splits a NAME into base and latency.  The non-greedy base cedes the
+#: longest trailing digit run to the latency field, so ``TAGE64K3`` is the
+#: base ``TAGE64K`` at latency 3.
+_NAME_RE = re.compile(r"(?P<base>[A-Za-z_][A-Za-z0-9_]*?)(?P<latency>\d+)$")
 
 
 def _tokenize(spec: str) -> List[_Token]:
@@ -90,24 +131,28 @@ def _tokenize(spec: str) -> List[_Token]:
     while pos < len(spec):
         match = _TOKEN_RE.match(spec, pos)
         if match is None:
-            remainder = spec[pos:].strip()
-            if not remainder:
+            stripped = spec[pos:].lstrip()
+            if not stripped:
                 break
+            error_pos = pos + (len(spec[pos:]) - len(stripped))
             raise TopologyParseError(
-                f"unexpected input at {pos}: {remainder[:20]!r} "
-                f"(component names need a trailing latency digit, e.g. TAGE3)"
+                f"unexpected input {stripped[:20]!r} "
+                f"(component names need a trailing latency digit, e.g. TAGE3)",
+                spec=spec,
+                pos=error_pos,
             )
         for kind in ("NAME", "GT", "LBRACKET", "RBRACKET", "COMMA", "LPAREN", "RPAREN"):
             text = match.group(kind)
             if text is not None:
-                tokens.append(_Token(kind, text))
+                tokens.append(_Token(kind, text, match.start(kind)))
                 break
         pos = match.end()
     return tokens
 
 
 class _Parser:
-    def __init__(self, tokens: List[_Token], library: ComponentLibrary):
+    def __init__(self, spec: str, tokens: List[_Token], library: ComponentLibrary):
+        self._spec = spec
         self._tokens = tokens
         self._pos = 0
         self._library = library
@@ -116,45 +161,66 @@ class _Parser:
     def peek(self) -> Optional[_Token]:
         return self._tokens[self._pos] if self._pos < len(self._tokens) else None
 
+    def error(self, message: str, pos: Optional[int] = None) -> TopologyParseError:
+        """A parse error pointing at ``pos`` (default: the current token)."""
+        if pos is None:
+            token = self.peek()
+            pos = token.pos if token is not None else len(self._spec)
+        return TopologyParseError(message, spec=self._spec, pos=pos)
+
     def take(self, kind: str) -> _Token:
         token = self.peek()
         if token is None or token.kind != kind:
             found = token.kind if token else "end of input"
-            raise TopologyParseError(f"expected {kind}, found {found}")
+            raise self.error(f"expected {kind}, found {found}")
         self._pos += 1
         return token
 
-    def _make_component(self, text: str) -> PredictorComponent:
-        match = _NAME_RE.match(text)
+    def _make_component(self, token: _Token) -> PredictorComponent:
+        match = _NAME_RE.match(token.text)
         if match is None:
-            raise TopologyParseError(
-                f"component name {text!r} must end with its latency, e.g. BIM2"
+            raise self.error(
+                f"component name {token.text!r} must end with its latency, "
+                f"e.g. BIM2",
+                pos=token.pos,
             )
         base = match.group("base")
         latency = int(match.group("latency"))
         count = self._name_counts.get(base.upper(), 0)
         self._name_counts[base.upper()] = count + 1
         instance = base.lower() if count == 0 else f"{base.lower()}{count + 1}"
-        return self._library.instantiate(base, instance, latency)
+        try:
+            component = self._library.instantiate(base, instance, latency)
+        except TopologyParseError as exc:
+            if exc.pos is not None:
+                raise
+            raise self.error(exc.reason, pos=token.pos) from None
+        # Remember the library base name so ``describe()`` can render the
+        # paper notation unambiguously even for duplicate instances (whose
+        # instance names carry a disambiguating digit suffix).
+        component.base_name = base.upper()
+        return component
 
     def parse_chain(self) -> TopologyNode:
         """chain := unit ('>' (bracket_list | chain))?"""
         token = self.peek()
         if token is None:
-            raise TopologyParseError("empty topology")
+            if self._pos > 0:
+                raise self.error("unexpected end of input; expected a component")
+            raise TopologyParseError("empty topology", spec=self._spec, pos=0)
         if token.kind == "LPAREN":
             self.take("LPAREN")
             node = self.parse_chain()
             self.take("RPAREN")
             if self.peek() is not None and self.peek().kind == "GT":
-                raise TopologyParseError(
+                raise self.error(
                     "a parenthesized group cannot override (only named "
                     "components may appear left of '>')"
                 )
             return node
 
         name = self.take("NAME")
-        component = self._make_component(name.text)
+        component = self._make_component(name)
 
         nxt = self.peek()
         if nxt is None or nxt.kind in ("RPAREN", "RBRACKET", "COMMA"):
@@ -182,10 +248,8 @@ class _Parser:
 
 def parse_topology(spec: str, library: ComponentLibrary) -> TopologyNode:
     """Parse a topology string, instantiating components from ``library``."""
-    parser = _Parser(_tokenize(spec), library)
+    parser = _Parser(spec, _tokenize(spec), library)
     root = parser.parse_chain()
     if not parser.finished():
-        raise TopologyParseError(
-            f"trailing input after topology: {spec!r}"
-        )
+        raise parser.error("trailing input after topology")
     return root

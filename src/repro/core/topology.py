@@ -59,6 +59,17 @@ def merge_by_hit(
     return PredictionVector(winner.fetch_pc, slots)
 
 
+def _notation(component: PredictorComponent) -> str:
+    """Render one component in the paper's ``BASElatency`` notation.
+
+    Uses the library base name recorded by the parser when available: a
+    duplicate instance is named e.g. ``bim2``, and rendering the instance
+    name would produce ``BIM22`` — which re-parses as ``BIM`` at latency 22.
+    """
+    base = getattr(component, "base_name", None) or component.name.upper()
+    return f"{base}{component.latency}"
+
+
 class TopologyNode(abc.ABC):
     """A node in the topological representation of a predictor design."""
 
@@ -153,7 +164,7 @@ class Leaf(TopologyNode):
         return staged
 
     def describe(self) -> str:
-        return f"{self.component.name.upper()}{self.component.latency}"
+        return _notation(self.component)
 
 
 class Override(TopologyNode):
@@ -219,11 +230,7 @@ class Override(TopologyNode):
         return result
 
     def describe(self) -> str:
-        hi = f"{self.hi.name.upper()}{self.hi.latency}"
-        lo = self.lo.describe()
-        if isinstance(self.lo, Arbitrate):
-            return f"{hi} > {lo}"
-        return f"{hi} > {lo}"
+        return f"{_notation(self.hi)} > {self.lo.describe()}"
 
 
 class Arbitrate(TopologyNode):
@@ -285,7 +292,7 @@ class Arbitrate(TopologyNode):
         return result
 
     def describe(self) -> str:
-        sel = f"{self.selector.name.upper()}{self.selector.latency}"
+        sel = _notation(self.selector)
         inner = ", ".join(
             f"({c.describe()})" if isinstance(c, (Override, Arbitrate)) else c.describe()
             for c in self.children

@@ -1,0 +1,155 @@
+"""Deliberately broken components: one contract violation per class.
+
+Each class trips exactly one CON rule in the ``repro check --components``
+harness (plus TOP003 for :class:`MiscountedMeta`, which lies about its
+metadata layout).  The analysis tests register these into a fresh
+:class:`~repro.core.parser.ComponentLibrary` and assert the expected rule
+fires; they are never part of the shipped library.
+"""
+
+import random
+
+from repro.components.base import MetaCodec
+from repro.core.interface import PredictorComponent, StorageReport
+
+
+class _Base(PredictorComponent):
+    """Shared honest implementations so each subclass breaks one thing."""
+
+    def lookup(self, req, predict_in):
+        return predict_in[0].copy(), 0
+
+    def storage(self):
+        return StorageReport(self.name, sram_bits=64, breakdown={"t": 64})
+
+
+class WideMeta(_Base):
+    """CON001: metadata wider than the declared meta_bits."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency, meta_bits=4)
+
+    def lookup(self, req, predict_in):
+        return predict_in[0].copy(), 0xFF
+
+
+class InputMutator(_Base):
+    """CON002: overrides slots directly in the incoming vector."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency)
+
+    def lookup(self, req, predict_in):
+        for slot in predict_in[0].slots:
+            slot.hit = True
+            slot.taken = True
+        return predict_in[0], 0
+
+
+class JumpClobberer(_Base):
+    """CON002: drops incoming jump targets instead of passing them through."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency)
+
+    def lookup(self, req, predict_in):
+        out = predict_in[0].copy()
+        for slot in out.slots:
+            slot.hit = True
+            slot.is_jump = False
+            slot.taken = (req.fetch_pc & 1) == 0
+            slot.target = None
+        return out, 0
+
+
+class HistorySniffer(_Base):
+    """CON003: reads the global history without declaring it, so it can be
+    built at latency 1 where the history is physically unavailable."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency, meta_bits=1)
+
+    def lookup(self, req, predict_in):
+        out = predict_in[0].copy()
+        parity = bin(req.ghist).count("1") & 1
+        for slot in out.slots:
+            if slot.is_jump:
+                continue
+            slot.hit = True
+            slot.taken = bool(parity)
+        return out, parity
+
+
+class LeakyReset(_Base):
+    """CON004: accumulates state that reset() forgets to clear."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency)
+        self._seen = []
+
+    def on_update(self, bundle):
+        self._seen.append(bundle.fetch_pc)
+
+    def reset(self):
+        pass  # forgets self._seen
+
+
+class FireWithoutRepair(_Base):
+    """CON005: fire mutates state and on_repair does not undo it."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency)
+        self._speculative = 0
+
+    def fire(self, bundle):
+        self._speculative += 1
+
+    def reset(self):
+        self._speculative = 0  # reset is honest; only repair is missing
+
+
+class WrongStorage(_Base):
+    """CON006: breakdown does not sum to the declared totals."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency)
+
+    def storage(self):
+        return StorageReport(
+            self.name, sram_bits=128, flop_bits=8, breakdown={"table": 100}
+        )
+
+
+class Flaky(_Base):
+    """CON007: consults the process-global RNG during lookup."""
+
+    def __init__(self, name, latency):
+        # Declares a history so latency-1 builds are rejected outright and
+        # the randomness is attributed to CON007, not CON003.
+        super().__init__(name, latency, meta_bits=8, uses_global_history=True)
+
+    def lookup(self, req, predict_in):
+        return predict_in[0].copy(), random.getrandbits(8)
+
+
+class MiscountedMeta(_Base):
+    """TOP003: declares fewer meta_bits than its codec actually packs."""
+
+    def __init__(self, name, latency):
+        self._codec = MetaCodec([("ctr", 2, 5)])  # 10 bits
+        super().__init__(name, latency, meta_bits=6)
+
+    def lookup(self, req, predict_in):
+        return predict_in[0].copy(), 0
+
+
+#: Factories keyed by the rule each one violates.
+VIOLATIONS = {
+    "CON001": ("WMETA", WideMeta),
+    "CON002": ("MUTATOR", InputMutator),
+    "CON003": ("SNIFFER", HistorySniffer),
+    "CON004": ("LEAKY", LeakyReset),
+    "CON005": ("NOREPAIR", FireWithoutRepair),
+    "CON006": ("BADSTORE", WrongStorage),
+    "CON007": ("FLAKY", Flaky),
+}

@@ -1,0 +1,33 @@
+"""Violation fixture: unseeded RNG and wall-clock reads (RPR001)."""
+
+import random
+import time
+
+import numpy as np
+from numpy import random as npr
+
+
+def unseeded_module_rng():
+    return random.randint(0, 7)  # RPR001: process-global RNG
+
+
+def wall_clock():
+    return time.perf_counter()  # RPR001: wall-clock read
+
+
+def numpy_global_generator():
+    return np.random.rand(4)  # RPR001: numpy global generator
+
+
+def numpy_alias_generator():
+    return npr.random()  # RPR001: numpy global generator via alias
+
+
+def seeded_is_fine():
+    rng = random.Random(1234)
+    gen = np.random.RandomState(1234)
+    return rng.random() + gen.rand()
+
+
+def suppressed_is_fine():
+    return time.time()  # repro: noqa[RPR001]

@@ -1,0 +1,22 @@
+"""Violation fixture: mutable default arguments (RPR002)."""
+
+
+def accumulates(history=[]):  # RPR002
+    history.append(1)
+    return history
+
+
+def keyword_only(*, table={}):  # RPR002
+    return table
+
+
+def factory_call(buckets=list()):  # RPR002
+    return buckets
+
+
+def fine(history=None):
+    return history or []
+
+
+def suppressed(cache={}):  # repro: noqa[RPR002]
+    return cache

@@ -1,0 +1,18 @@
+"""Violation fixture: in-place mutation of predict_in (RPR004)."""
+
+
+def mutating_lookup(req, predict_in):
+    predict_in[0].slots[0].taken = True  # RPR004: assignment into input
+    predict_in[0].slots.append(None)  # RPR004: mutating method call
+    return predict_in[0]
+
+
+def copying_lookup(req, predict_in):
+    out = predict_in[0].copy()
+    out.slots[0].taken = True  # fine: operates on the copy
+    return out
+
+
+def suppressed_lookup(req, predict_in):
+    predict_in[0].slots[0].hit = False  # repro: noqa[RPR004]
+    return predict_in[0]

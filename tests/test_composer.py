@@ -195,6 +195,19 @@ class TestRepairModes:
         with pytest.raises(ValueError):
             ComposerConfig(ghist_repair_mode="sometimes")
 
+    def test_negative_repair_bubbles_rejected(self):
+        with pytest.raises(ValueError):
+            ComposerConfig(ghist_repair_bubbles=-1)
+
+    def test_negative_corruption_window_rejected(self):
+        with pytest.raises(ValueError):
+            ComposerConfig(ghist_corruption_window=-1)
+
+    def test_zero_valued_knobs_accepted(self):
+        config = ComposerConfig(ghist_repair_bubbles=0, ghist_corruption_window=0)
+        assert config.ghist_repair_bubbles == 0
+        assert config.ghist_corruption_window == 0
+
 
 class TestSerializedFetch:
     def test_packet_cut_at_first_cfi(self):

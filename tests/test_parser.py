@@ -140,3 +140,101 @@ class TestDescribe:
             node = parse_topology(spec, library)
             reparsed = parse_topology(node.describe(), standard_library())
             assert reparsed.describe() == node.describe()
+
+
+class TestInteriorDigitNames:
+    """Base names may contain interior digits; only the trailing run is
+    the latency (``L2BIM2`` is component ``L2BIM`` at latency 2)."""
+
+    @pytest.fixture()
+    def digit_library(self):
+        from repro.components.bimodal import HBIM
+
+        lib = ComponentLibrary()
+        lib.register("L2BIM", lambda name, lat: HBIM(name, lat, n_sets=64))
+        lib.register("TAGE64K", lambda name, lat: HBIM(name, lat, n_sets=128))
+        lib.register("BIM", lambda name, lat: HBIM(name, lat, n_sets=32))
+        return lib
+
+    def test_interior_digit_base(self, digit_library):
+        node = parse_topology("L2BIM2", digit_library)
+        comp = next(node.components())
+        assert comp.base_name == "L2BIM"
+        assert comp.latency == 2
+
+    def test_interior_digit_run(self, digit_library):
+        node = parse_topology("TAGE64K3", digit_library)
+        comp = next(node.components())
+        assert comp.base_name == "TAGE64K"
+        assert comp.latency == 3
+
+    def test_chain_of_digit_names(self, digit_library):
+        node = parse_topology("TAGE64K3 > L2BIM2 > BIM1", digit_library)
+        assert [c.latency for c in node.components()] == [1, 2, 3]
+
+    def test_multi_digit_latency_still_wins(self, digit_library):
+        # The latency is the entire trailing digit run.
+        comp = next(parse_topology("BIM12", digit_library).components())
+        assert comp.base_name == "BIM"
+        assert comp.latency == 12
+
+    def test_describe_preserves_interior_digits(self, digit_library):
+        node = parse_topology("TAGE64K3 > L2BIM2", digit_library)
+        assert node.describe() == "TAGE64K3 > L2BIM2"
+        reparsed = parse_topology(node.describe(), digit_library)
+        assert reparsed.describe() == node.describe()
+
+
+class TestErrorPositions:
+    """Every parse error carries the offending column and a caret snippet."""
+
+    def test_unknown_component_position(self, library):
+        spec = "BIM2 > WIZARD3"
+        with pytest.raises(TopologyParseError) as exc_info:
+            parse_topology(spec, library)
+        err = exc_info.value
+        assert err.spec == spec
+        assert err.pos == spec.index("WIZARD3")
+        assert err.column == err.pos + 1
+        rendered = str(err)
+        assert spec in rendered
+        assert "^" in rendered
+        assert f"column {err.column}" in rendered
+
+    def test_caret_under_offending_token(self, library):
+        spec = "BIM2 > WIZARD3"
+        with pytest.raises(TopologyParseError) as exc_info:
+            parse_topology(spec, library)
+        lines = str(exc_info.value).splitlines()
+        assert lines[-2].endswith(spec)
+        caret_col = lines[-1].index("^") - (len(lines[-2]) - len(spec))
+        assert caret_col == spec.index("WIZARD3")
+
+    def test_stray_symbol_position(self, library):
+        spec = "BIM2 > @"
+        with pytest.raises(TopologyParseError) as exc_info:
+            parse_topology(spec, library)
+        assert exc_info.value.pos == spec.index("@")
+
+    def test_trailing_input_position(self, library):
+        spec = "BIM2 BIM3"
+        with pytest.raises(TopologyParseError) as exc_info:
+            parse_topology(spec, library)
+        assert exc_info.value.pos == spec.index("BIM3")
+
+    def test_unexpected_end_points_past_spec(self, library):
+        spec = "TAGE3 >"
+        with pytest.raises(TopologyParseError) as exc_info:
+            parse_topology(spec, library)
+        assert exc_info.value.pos == len(spec)
+
+    def test_missing_latency_position(self, library):
+        spec = "TAGE3 > BIM"
+        with pytest.raises(TopologyParseError) as exc_info:
+            parse_topology(spec, library)
+        assert exc_info.value.pos == spec.index("BIM", 5)
+
+    def test_empty_spec_has_position(self, library):
+        with pytest.raises(TopologyParseError) as exc_info:
+            parse_topology("   ", library)
+        assert exc_info.value.pos is not None

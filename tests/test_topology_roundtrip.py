@@ -1,0 +1,97 @@
+"""Property test: ``parse_topology(node.describe())`` is the identity.
+
+The paper notation emitted by :meth:`TopologyNode.describe` must parse
+back to a structurally equivalent tree — same node kinds, same component
+base names, same latencies — for every shipped preset and for a seeded
+population of randomized topologies.
+"""
+
+import random
+
+import pytest
+
+from repro import presets
+from repro.components.library import standard_library
+from repro.core.parser import parse_topology
+from repro.core.topology import Arbitrate, Leaf, Override
+
+#: Components that read a history register need latency >= 2 (Fig. 2).
+_HISTORY_BASES = ("GSHARE", "GBIM", "LBIM", "PSHARE", "GSELECT", "GTAG", "TAGE")
+#: PC-only components may respond in a single cycle.
+_FAST_BASES = ("BIM", "BTB", "UBTB")
+
+
+def equivalent(a, b):
+    """Structural equality: node kind, component base name, latency."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Leaf):
+        pair = (a.component, b.component)
+    elif isinstance(a, Override):
+        pair = (a.hi, b.hi)
+        if not equivalent(a.lo, b.lo):
+            return False
+    elif isinstance(a, Arbitrate):
+        pair = (a.selector, b.selector)
+        if len(a.children) != len(b.children):
+            return False
+        if not all(equivalent(x, y) for x, y in zip(a.children, b.children)):
+            return False
+    else:  # pragma: no cover - no other node kinds exist
+        raise AssertionError(f"unknown node type {type(a)!r}")
+    lhs, rhs = pair
+    return lhs.base_name == rhs.base_name and lhs.latency == rhs.latency
+
+
+def random_spec(rng, depth=0):
+    """A random well-formed topology spec in paper notation."""
+
+    def unit():
+        if rng.random() < 0.4:
+            return f"{rng.choice(_FAST_BASES)}{rng.randint(1, 4)}"
+        return f"{rng.choice(_HISTORY_BASES)}{rng.randint(2, 4)}"
+
+    roll = rng.random()
+    if depth < 2 and roll < 0.25:
+        # TOURNEY takes exactly two predict_in inputs, so exactly two
+        # children; it must be at least as slow as what it arbitrates.
+        children = ", ".join(random_spec(rng, depth + 1) for _ in range(2))
+        return f"TOURNEY{rng.randint(2, 4)} > [{children}]"
+    if depth < 3 and roll < 0.75:
+        return f"{unit()} > {random_spec(rng, depth + 1)}"
+    return unit()
+
+
+class TestPresetRoundTrip:
+    @pytest.mark.parametrize("name", presets.PRESET_NAMES)
+    def test_preset_describe_reparses_equivalently(self, name):
+        predictor = presets.build(name)
+        library = standard_library(fetch_width=predictor.config.fetch_width)
+        reparsed = parse_topology(predictor.topology.describe(), library)
+        assert equivalent(reparsed, predictor.topology)
+        assert reparsed.describe() == predictor.topology.describe()
+
+
+class TestRandomizedRoundTrip:
+    @pytest.mark.parametrize("seed", range(40))
+    def test_random_topologies_round_trip(self, seed):
+        rng = random.Random(0xC0B7A ^ seed)
+        library = standard_library()
+        spec = random_spec(rng)
+        node = parse_topology(spec, library)
+        notation = node.describe()
+        reparsed = parse_topology(notation, standard_library())
+        assert equivalent(reparsed, node), (
+            f"spec {spec!r} described as {notation!r} did not round-trip"
+        )
+        # describe() is a fixed point: a second round adds nothing.
+        assert reparsed.describe() == notation
+
+    def test_equivalence_is_discriminating(self):
+        library = standard_library()
+        a = parse_topology("BIM2 > BTB2", library)
+        b = parse_topology("BIM3 > BTB2", standard_library())
+        c = parse_topology("GBIM2 > BTB2", standard_library())
+        assert not equivalent(a, b)  # latency differs
+        assert not equivalent(a, c)  # base name differs
+        assert not equivalent(a, Leaf(next(a.components())))  # kind differs
