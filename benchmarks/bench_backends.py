@@ -1,0 +1,220 @@
+"""Wall-clock benchmark of the execution backends (trace vs. replay).
+
+The ``replay`` backend drives a composed predictor straight from stored
+``BranchTrace`` npz columns — no interpreter in the loop, plain runs
+between branch records consumed arithmetically (exact by the
+``branchless_inert`` contract, rule CON008).  This benchmark runs the
+full micro suite through the backends, asserts the two trace-driven
+backends produce bit-identical branch and mispredict counts on every
+cell, and checks the acceptance criterion:
+
+    aggregate replay throughput >= 3x trace throughput (branches/sec)
+    over the micro suite.
+
+Two configurations are measured, because what dominates wall time
+differs:
+
+1. **Backend overhead** (the asserted configuration): a scalar
+   (fetch_width=1) pipeline with a minimal bimodal payload, so measured
+   time is dominated by the execution layer itself — the object under
+   test.  Here the trace backend queries the predictor once per fetched
+   instruction while replay queries once per branch record, which is
+   exactly the CBP-style replay win.
+2. **Realistic payload** (context, no assert): the default width-4
+   ``tage_l`` preset, where the composed predictor's own Python cost
+   dominates both backends equally and the speedup is bounded by the
+   share of packets containing a branch (see docs/performance.md).
+
+Predictors are constructed outside the timed region; npz load time is
+charged to the replay column (the real workflow cost).
+
+Run directly (``python benchmarks/bench_backends.py [--quick]``) or via
+pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import presets  # noqa: E402
+from repro.backends import RunLimits, get_backend  # noqa: E402
+from repro.components.library import standard_library  # noqa: E402
+from repro.core.composer import ComposerConfig, compose  # noqa: E402
+from repro.workloads.micro import MICRO_NAMES, build_micro  # noqa: E402
+from repro.workloads.registry import WorkloadSource  # noqa: E402
+from repro.workloads.traces import capture_trace  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_WORKLOADS = tuple(MICRO_NAMES)
+QUICK_WORKLOADS = ("steady_loop", "biased", "dispatch")
+SCALE = 0.5
+BUDGET = 200_000
+
+#: Payload for the asserted backend-overhead configuration: a scalar
+#: pipeline with a single bimodal leaf, the cheapest composition the
+#: library builds.
+LIGHT_SPEC = "BIM2"
+LIGHT_WIDTH = 1
+#: Payload for the realistic context table.
+CONTEXT_PRESET = "tage_l"
+
+
+def build_light():
+    library = standard_library(
+        fetch_width=LIGHT_WIDTH,
+        global_history_bits=16,
+        gtag_history_bits=16,
+    )
+    config = ComposerConfig(fetch_width=LIGHT_WIDTH, global_history_bits=16)
+    return compose(LIGHT_SPEC, library, config)
+
+
+def _measure(workloads, build_predictor, backends, tmp):
+    """One table: run every workload through every backend.
+
+    Returns ``(rows, totals, total_branches)`` where each row is
+    ``(name, branches, mispredicts, {backend: seconds})``.  Asserts
+    trace/replay bit-identity per cell.
+    """
+    limits = RunLimits(max_instructions=BUDGET)
+    rows = []
+    totals = {b: 0.0 for b in backends}
+    total_branches = 0
+    for name in workloads:
+        program = build_micro(name, scale=SCALE)
+        npz = Path(tmp) / f"{name}.npz"
+        if not npz.exists():
+            capture_trace(program, max_instructions=BUDGET).save(npz)
+        live = WorkloadSource(name=name, program=program)
+        stored = WorkloadSource(name=name, trace_path=npz)
+
+        results = {}
+        cell = {}
+        for backend in backends:
+            source = stored if backend == "replay" else live
+            predictor = build_predictor()
+            t0 = time.perf_counter()
+            results[backend] = get_backend(backend).run(
+                predictor, source, limits
+            )
+            cell[backend] = time.perf_counter() - t0
+            totals[backend] += cell[backend]
+
+        t, r = results["trace"], results["replay"]
+        assert (t.branches, t.branch_mispredicts, t.instructions) == (
+            r.branches,
+            r.branch_mispredicts,
+            r.instructions,
+        ), f"replay diverged from trace on {name}"
+        total_branches += t.branches
+        rows.append((name, t.branches, t.branch_mispredicts, cell))
+    return rows, totals, total_branches
+
+
+def _table(title, rows, totals, total_branches, backends):
+    lines = [title, "-" * 72]
+    header = f"{'workload':16s} {'branches':>9s} {'mispred':>8s}"
+    for backend in backends:
+        header += f" {backend + ' s':>9s}"
+    header += f" {'speedup':>8s}"
+    lines.append(header)
+    for name, branches, mispredicts, cell in rows:
+        line = f"{name:16s} {branches:9d} {mispredicts:8d}"
+        for backend in backends:
+            line += f" {cell[backend]:9.2f}"
+        line += f" {cell['trace'] / cell['replay']:7.2f}x"
+        lines.append(line)
+    lines.append("")
+    lines.append(
+        f"{'backend':10s} {'wall (s)':>9s} {'branches/sec':>13s} {'vs trace':>9s}"
+    )
+    trace_bps = total_branches / totals["trace"]
+    for backend in backends:
+        bps = total_branches / totals[backend]
+        lines.append(
+            f"{backend:10s} {totals[backend]:9.2f} {bps:13,.0f} "
+            f"{bps / trace_bps:8.2f}x"
+        )
+    lines.append("")
+    return lines
+
+
+def run_benchmark(quick: bool = False) -> str:
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    lines = [
+        f"suite: {len(workloads)} micro workloads, scale={SCALE}, "
+        f"max_instructions={BUDGET}",
+        "trace/replay counts bit-identical on every cell: asserted",
+        "",
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        rows, totals, branches = _measure(
+            workloads, build_light, ("trace", "replay"), tmp
+        )
+        lines += _table(
+            f"backend overhead: payload {LIGHT_SPEC}, "
+            f"fetch_width={LIGHT_WIDTH} (asserted configuration)",
+            rows,
+            totals,
+            branches,
+            ("trace", "replay"),
+        )
+        speedup = totals["trace"] / totals["replay"]
+        lines.append(
+            f"replay vs trace: {speedup:.2f}x branches/sec "
+            f"(target >= 3x on the full suite)"
+        )
+        lines.append("")
+
+        if not quick:
+            rows, ctotals, cbranches = _measure(
+                workloads,
+                lambda: presets.build(CONTEXT_PRESET),
+                ("cycle", "trace", "replay"),
+                tmp,
+            )
+            lines += _table(
+                f"realistic payload: preset {CONTEXT_PRESET}, fetch_width=4 "
+                f"(context; speedup is bounded by the predictor's own cost)",
+                rows,
+                ctotals,
+                cbranches,
+                ("cycle", "trace", "replay"),
+            )
+    if not quick:
+        assert speedup >= 3.0, f"replay speedup {speedup:.2f}x < 3x"
+    return "\n".join(lines)
+
+
+def test_backends(report):
+    report("backends", run_benchmark(quick=False))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small suite, no 3x acceptance assert (CI smoke)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true", help="print only, skip results/"
+    )
+    args = parser.parse_args()
+    text = run_benchmark(quick=args.quick)
+    print(text)
+    if not args.quick and not args.no_write:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "backends.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,14 +34,18 @@ def gap_results(scale):
 
 def test_trace_vs_core(benchmark, report, gap_results):
     rows = benchmark.pedantic(lambda: gap_results, iterations=1, rounds=1)
-    lines = [f"{'bench':12s} {'trace acc':>10s} {'core acc':>10s} {'gap (pp)':>9s}"]
+    lines = [
+        f"{'bench':12s} {'trace acc':>10s} {'core acc':>10s} {'gap (pp)':>9s} "
+        f"{'trace MPKI':>11s} {'core MPKI':>10s}"
+    ]
     gaps = []
     for bench, (trace, core) in rows.items():
         gap = (trace.accuracy - core.branch_accuracy) * 100
         gaps.append(gap)
         lines.append(
             f"{bench:12s} {trace.accuracy * 100:9.2f}% "
-            f"{core.branch_accuracy * 100:9.2f}% {gap:+8.2f}"
+            f"{core.branch_accuracy * 100:9.2f}% {gap:+8.2f} "
+            f"{trace.mpki:11.2f} {core.mpki:10.2f}"
         )
     report("trace_vs_core_modeling_gap", "\n".join(lines))
     # A modelling gap exists somewhere in the suite.

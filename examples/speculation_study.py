@@ -61,7 +61,8 @@ def section_ii_b(scale: float = 0.5) -> None:
         gap = (trace.accuracy - core.branch_accuracy) * 100
         print(f"  {name:10s} trace-sim acc {trace.accuracy*100:5.2f}%  "
               f"core acc {core.branch_accuracy*100:5.2f}%  "
-              f"modelling gap {gap:+.2f} pp")
+              f"modelling gap {gap:+.2f} pp  "
+              f"MPKI {trace.mpki:.2f} vs {core.mpki:.2f}")
     print("  (the trace simulator never sees wrong-path history corruption,")
     print("   repair latency, or fetch-packet cuts — the §II-B error source)")
 

@@ -18,7 +18,15 @@ CON004  reset() does not restore the power-on state
 CON005  fire followed by on_repair does not round-trip state
 CON006  storage() breakdown does not sum to declared totals
 CON007  same seed, different behavior (non-determinism)
+CON008  branchless packet changes state despite branchless_inert
 ======  ========================================================
+
+CON008 guards the replay backend's fast path: packets with no control-flow
+instruction are skipped entirely (:mod:`repro.backends.packets`), which is
+only exact if lookup + fire + on_update on such a packet leave the
+component's state untouched.  Components that do learn on branchless
+packets must override ``branchless_inert = False`` (the composed predictor
+then disables the skip).
 
 Determinism and reset are checked with *state fingerprints*: a canonical
 hash over the component's full object graph (numpy arrays by dtype, shape
@@ -193,6 +201,31 @@ def _bundle(
         cfi_is_br=cfi_idx is not None,
         mispredicted=mispredicted,
         mispredict_idx=cfi_idx if mispredicted else None,
+    )
+
+
+def _branchless_bundle(req: PredictRequest, meta: int) -> UpdateBundle:
+    """The commit bundle of a packet containing no control flow at all.
+
+    This is exactly the update the composed pipeline issues for a packet
+    the replay fast path would skip (all-False ``br_mask``, no CFI), so
+    CON008 exercises the skip's soundness condition directly.
+    """
+    return UpdateBundle(
+        fetch_pc=req.fetch_pc,
+        width=req.width,
+        ghist=req.ghist,
+        lhist=req.lhist,
+        phist=req.phist,
+        meta=meta,
+        br_mask=(False,) * req.width,
+        taken_mask=(False,) * req.width,
+        cfi_idx=None,
+        cfi_taken=False,
+        cfi_target=None,
+        cfi_is_br=False,
+        mispredicted=False,
+        mispredict_idx=None,
     )
 
 
@@ -391,6 +424,32 @@ def check_component(
             "component behavior must be a pure function of its inputs",
         )
     del log_a
+
+    # CON008: if the component claims branchless_inert, a branchless
+    # packet's full lookup + fire + on_update cycle must leave its state
+    # bit-identical — the replay backend skips such packets outright.  The
+    # check runs on the stimulus-warmed ``replay`` instance so populated
+    # tables are covered, not just power-on zeros.
+    if component.branchless_inert:
+        rng = random.Random(seed ^ 0xB8)
+        overrides_fire = type(replay).fire is not PredictorComponent.fire
+        for step in range(8):
+            before = state_fingerprint(replay)
+            req, inputs = _stimulus(rng, replay.n_inputs)
+            _out, meta = replay.lookup(req, inputs)
+            bundle = _branchless_bundle(req, meta)
+            if overrides_fire:
+                replay.fire(bundle)
+            replay.on_update(bundle)
+            if state_fingerprint(replay) != before:
+                report.report(
+                    "CON008",
+                    f"step {step}: a branchless packet (all-False br_mask, "
+                    f"no CFI) changed component state, but the component "
+                    f"claims branchless_inert; the replay fast path would "
+                    f"skip this packet — override branchless_inert = False",
+                )
+                break
 
     # CON003: if the component can be built at latency 1, its output must
     # not depend on any history field — histories only arrive at the end of

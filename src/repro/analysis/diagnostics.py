@@ -37,6 +37,7 @@ RULES: Dict[str, tuple] = {
     "CON005": (ERROR, "fire followed by on_repair does not round-trip state"),
     "CON006": (ERROR, "storage() breakdown does not sum to declared totals"),
     "CON007": (ERROR, "component is not deterministic under a fixed seed"),
+    "CON008": (ERROR, "branchless packet changes state despite branchless_inert"),
     # Source lints (repro.analysis.lints)
     "RPR001": (ERROR, "unseeded RNG or wall-clock use in deterministic code"),
     "RPR002": (ERROR, "mutable default argument"),

@@ -1,0 +1,44 @@
+"""The ``cycle`` backend: the cycle-level host-core model.
+
+Wraps :class:`~repro.frontend.core.Core` — speculation, superscalar fetch,
+wrong-path predictor pollution, update delay, and timing are all modelled,
+so this is the reference methodology the paper's FPGA simulations stand
+for.  It is also the only backend that measures cycles and IPC.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.backends.base import ExecutionBackend, RunLimits, register_backend
+from repro.core.composer import ComposedPredictor
+from repro.eval.metrics import RunResult
+from repro.frontend.config import CoreConfig
+from repro.frontend.core import Core
+from repro.workloads.registry import WorkloadSource
+
+
+class CycleBackend(ExecutionBackend):
+    name = "cycle"
+
+    def run(
+        self,
+        predictor: ComposedPredictor,
+        source: WorkloadSource,
+        limits: RunLimits,
+        core_config: Optional[CoreConfig] = None,
+        system: Optional[str] = None,
+        trace: Optional[object] = None,
+    ) -> RunResult:
+        program = source.require_program(self.name)
+        core = Core(program, predictor, core_config or CoreConfig(), trace=trace)
+        stats = core.run(
+            max_instructions=limits.max_instructions,
+            max_cycles=limits.max_cycles,
+        )
+        return RunResult.from_stats(
+            system or predictor.describe(), source.name, stats, backend=self.name
+        )
+
+
+register_backend(CycleBackend())

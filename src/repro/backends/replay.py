@@ -1,0 +1,322 @@
+"""The ``replay`` backend: trace replay with no interpreter in the loop.
+
+Drives a composed predictor directly from stored
+:class:`~repro.workloads.traces.BranchTrace` npz columns — the
+CBP/ChampSim-style workflow that makes large-scale predictor studies
+tractable.  Two properties make it fast:
+
+1. **No ISA execution.**  The architectural PC stream is fully determined
+   by the trace's entry PC plus its control-flow records (non-CFI
+   instructions advance the PC by one), so the stream is *reconstructed*
+   from the columnar trace in batched chunks; register/memory semantics
+   never run.  Pre-decoded packets come from the trace's static slot
+   tables, bit-identical to what the program image would pre-decode to.
+2. **Plain runs are consumed arithmetically.**  Between two control-flow
+   records every executed address is statically branch-free, so every
+   aligned packet that fits entirely inside the gap is branchless; the
+   columnar walker (:func:`drive_columns`) accounts those packets with
+   integer arithmetic — no per-instruction records, no predictor query
+   (exact by the ``branchless_inert`` contract, rule CON008).  Only
+   packets containing a control-flow record reach the predictor, so
+   replay cost is proportional to *branchy* packets only.
+
+Both transformations are exact: replay reproduces the ``trace`` backend's
+branch and mispredict counts bit for bit (asserted by the test suite and
+``benchmarks/bench_backends.py``).  Whenever the fast path is not
+provable — a component that learns on branchless packets, an attached
+telemetry collector — replay falls back to the shared
+:func:`~repro.backends.packets.drive_stream` walker over the
+reconstructed record stream, so the two code paths can never diverge
+silently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.backends.base import (
+    ExecutionBackend,
+    RunLimits,
+    attach_collector,
+    counts_result,
+    register_backend,
+)
+from repro.backends.packets import (
+    ArchRecord,
+    PacketCache,
+    WalkCounts,
+    drive_stream,
+)
+from repro.core.composer import ComposedPredictor
+from repro.core.prediction import INVALID_SLOT, PLAIN_SLOT, PreDecodedSlot
+from repro.eval.metrics import RunResult
+from repro.frontend.config import CoreConfig
+from repro.workloads.registry import WorkloadSource
+from repro.workloads.traces import (
+    BranchTrace,
+    SLOT_COND,
+    SLOT_JAL,
+    SLOT_JAL_CALL,
+    SLOT_JALR,
+    SLOT_JALR_RET,
+    SLOT_PLAIN,
+    TYPE_COND,
+)
+
+#: Branch records are decoded from npz columns to plain Python lists in
+#: chunks of this many entries, keeping per-record numpy scalar overhead
+#: out of the walk loop without materializing huge traces at once.
+_CHUNK = 1 << 16
+
+
+def trace_stream(
+    trace: BranchTrace, max_instructions: Optional[int] = None
+) -> Iterator[ArchRecord]:
+    """Reconstruct the architectural record stream from a branch trace.
+
+    Between consecutive control-flow records the PC advances sequentially,
+    so every non-CFI record is ``(pc, pc + 1, False, False)``; each CFI
+    record carries its stored direction and next PC (the trace stores
+    ``next_pc`` for not-taken branches too, so no fall-through special
+    case is needed).
+    """
+    total = trace.instruction_count
+    n = total if max_instructions is None else min(total, max_instructions)
+    n_br = len(trace)
+    pc = trace.entry_pc
+    emitted = 0
+    base = 0
+    while emitted < n:
+        if base < n_br:
+            end = min(base + _CHUNK, n_br)
+            pcs = trace.pcs[base:end].tolist()
+            conds = (trace.types[base:end] == TYPE_COND).tolist()
+            takens = trace.taken[base:end].tolist()
+            targets = trace.targets[base:end].tolist()
+            base = end
+        else:
+            # No control flow left: the tail is purely sequential.
+            while emitted < n:
+                yield (pc, pc + 1, False, False)
+                emitted += 1
+                pc += 1
+            return
+        for i in range(len(pcs)):
+            branch_pc = pcs[i]
+            while pc != branch_pc:
+                yield (pc, pc + 1, False, False)
+                emitted += 1
+                pc += 1
+                if emitted >= n:
+                    return
+            next_pc = targets[i]
+            yield (pc, next_pc, conds[i], takens[i])
+            emitted += 1
+            pc = next_pc
+            if emitted >= n:
+                return
+
+
+def trace_packets(trace: BranchTrace, fetch_width: int) -> PacketCache:
+    """Pre-decoded packets rebuilt from the trace's static slot tables.
+
+    Produces slots field-identical to what
+    :func:`~repro.core.prediction.predecode_slot` yields from the program
+    image (SFB conversion is a cycle-core decode feature and does not
+    apply to the trace-driven backends).
+    """
+    if trace.slot_kinds is None or trace.slot_targets is None:
+        raise ValueError(
+            "trace has no pre-decode slot tables (schema-1 capture); "
+            "re-capture it with this version to make it replayable"
+        )
+    kinds = trace.slot_kinds.tolist()
+    targets = trace.slot_targets.tolist()
+    n = len(kinds)
+
+    def slot_fn(pc: int) -> PreDecodedSlot:
+        if pc < 0 or pc >= n:
+            return INVALID_SLOT
+        kind = kinds[pc]
+        if kind == SLOT_PLAIN:
+            return PLAIN_SLOT
+        target = targets[pc]
+        direct = None if target < 0 else target
+        if kind == SLOT_COND:
+            return PreDecodedSlot(is_cond_branch=True, direct_target=direct)
+        if kind == SLOT_JAL:
+            return PreDecodedSlot(is_jal=True, direct_target=direct)
+        if kind == SLOT_JAL_CALL:
+            return PreDecodedSlot(is_jal=True, is_call=True, direct_target=direct)
+        if kind == SLOT_JALR:
+            return PreDecodedSlot(is_jalr=True)
+        if kind == SLOT_JALR_RET:
+            return PreDecodedSlot(is_jalr=True, is_ret=True)
+        raise ValueError(f"corrupt slot table: unknown kind {kind} at pc {pc}")
+
+    return PacketCache(slot_fn, fetch_width)
+
+
+def drive_columns(
+    predictor: ComposedPredictor,
+    trace: BranchTrace,
+    packets: PacketCache,
+    max_instructions: Optional[int] = None,
+) -> WalkCounts:
+    """Drive ``predictor`` straight off the branch columns of ``trace``.
+
+    Record-free equivalent of
+    :func:`~repro.backends.packets.drive_stream` with ``skip_inert`` for a
+    :attr:`~repro.core.composer.ComposedPredictor.branchless_inert`
+    predictor: between two control-flow records the PC stream is a known
+    sequential run, so every aligned packet that fits entirely before the
+    next branch PC is branchless and state-neutral — its instructions are
+    *counted*, never walked.  Only packets containing a branch record (and
+    plain packets inside an active no-replay stale-history window, which
+    must still be queried, §VI-B) go through the standard
+    predict/resolve/commit protocol, replicating ``drive_stream``'s walk
+    record for record.  Callers must check ``branchless_inert`` and that
+    no telemetry collector is attached before using this walker.
+    """
+    total = trace.instruction_count
+    n = total if max_instructions is None else min(total, max_instructions)
+    width = packets.fetch_width
+    packet = packets.packet
+    predict = predictor.predict
+    commit = predictor.commit_packet
+    resolve = predictor.resolve_mispredict
+
+    n_br = len(trace)
+
+    def chunks():
+        for start in range(0, n_br, _CHUNK):
+            end = min(start + _CHUNK, n_br)
+            yield (
+                trace.pcs[start:end].tolist(),
+                (trace.types[start:end] == TYPE_COND).tolist(),
+                trace.taken[start:end].tolist(),
+                trace.targets[start:end].tolist(),
+            )
+
+    chunk_iter = chunks()
+    first = next(chunk_iter, None)
+    if first is None:
+        b_pcs, b_conds, b_takens, b_targets = (), (), (), ()
+    else:
+        b_pcs, b_conds, b_takens, b_targets = first
+    ci = 0
+    next_branch = b_pcs[0] if b_pcs else None
+
+    instructions = 0
+    branches = 0
+    mispredicts = 0
+    pc = trace.entry_pc
+    while instructions < n:
+        fetch_pc = pc
+        span = width - (fetch_pc % width)
+        gap = n if next_branch is None else next_branch - fetch_pc
+        if gap >= span and not predictor.stale_window_active:
+            # Whole packet is branch-free: account it without walking.
+            if instructions + span <= n:
+                instructions += span
+                pc = fetch_pc + span
+            else:
+                instructions = n
+            continue
+
+        slots, _has_cfi = packet(fetch_pc)
+        result = predict(fetch_pc, slots, None)
+        final_slots = result.final.slots
+        mispredict_info = None
+        consumed = 0
+        while True:
+            # The record at ``pc``: a stored branch record, or sequential.
+            if next_branch == pc:
+                next_pc = b_targets[ci]
+                is_cond = b_conds[ci]
+                taken = b_takens[ci]
+                ci += 1
+                if ci == len(b_pcs):
+                    refill = next(chunk_iter, None)
+                    ci = 0
+                    if refill is None:
+                        b_pcs = ()
+                        next_branch = None
+                    else:
+                        b_pcs, b_conds, b_takens, b_targets = refill
+                        next_branch = b_pcs[0]
+                else:
+                    next_branch = b_pcs[ci]
+            else:
+                next_pc = pc + 1
+                is_cond = False
+                taken = False
+            slot_idx = consumed
+            instructions += 1
+            if is_cond:
+                branches += 1
+                if final_slots[slot_idx].taken != taken:
+                    mispredicts += 1
+                    if mispredict_info is None:
+                        mispredict_info = (
+                            slot_idx,
+                            taken,
+                            next_pc if taken else None,
+                        )
+            consumed += 1
+            ends_packet = (
+                next_pc != pc + 1
+                or consumed >= span
+                or (mispredict_info is not None and result.cut == slot_idx)
+            )
+            pc = next_pc
+            if ends_packet or instructions >= n:
+                break
+        if mispredict_info is not None:
+            slot_idx, taken, target = mispredict_info
+            resolve(result.ftq_id, slot_idx, taken, target)
+        commit(result.ftq_id)
+    return WalkCounts(instructions, branches, mispredicts)
+
+
+class ReplayBackend(ExecutionBackend):
+    name = "replay"
+
+    def run(
+        self,
+        predictor: ComposedPredictor,
+        source: WorkloadSource,
+        limits: RunLimits,
+        core_config: Optional[CoreConfig] = None,
+        system: Optional[str] = None,
+        trace: Optional[object] = None,
+    ) -> RunResult:
+        branch_trace = source.branch_trace(limits.max_instructions)
+        collector = attach_collector(predictor, core_config, trace)
+        try:
+            packets = trace_packets(branch_trace, predictor.config.fetch_width)
+            if predictor.branchless_inert and predictor.telemetry is None:
+                counts = drive_columns(
+                    predictor, branch_trace, packets, limits.max_instructions
+                )
+            else:
+                counts = drive_stream(
+                    predictor,
+                    trace_stream(branch_trace, limits.max_instructions),
+                    packets,
+                    skip_inert=True,
+                )
+            summary = collector.summary() if collector is not None else None
+        finally:
+            if collector is not None:
+                predictor.detach_telemetry()
+        return counts_result(
+            system or predictor.describe(),
+            source.name,
+            counts,
+            self.name,
+            telemetry=summary,
+        )
+
+
+register_backend(ReplayBackend())

@@ -4,11 +4,17 @@ Commands
 --------
 - ``run``      — run one workload on one predictor, print the metrics.
 - ``sweep``    — run a set of workloads across a set of predictors.
+- ``trace``    — capture a branch trace to npz, or replay a stored one.
 - ``area``     — area breakdown of a predictor (Fig. 8 style).
 - ``storage``  — Table-I style storage summary of the three presets.
 - ``topology`` — parse and describe a topology string (sanity check).
 - ``golden``   — check or regenerate the committed golden-stats snapshot.
 - ``check``    — static analysis: topology, component contracts, lints.
+
+``run`` and ``sweep`` take ``--backend {cycle,trace,replay}`` to pick the
+execution methodology (see ``docs/backends.md``); workloads are named
+through :mod:`repro.workloads.registry`, so a stored-trace ``.npz`` path
+is a valid workload spelling for the ``replay`` backend.
 """
 
 from __future__ import annotations
@@ -24,22 +30,14 @@ from repro.eval.metrics import arithmetic_mean
 from repro.frontend import CoreConfig
 from repro.synthesis import AreaModel, EnergyModel, format_breakdown
 from repro.synthesis.report import format_matrix
-from repro.workloads import (
-    SPECINT_NAMES,
-    build_coremark,
-    build_dhrystone,
-    build_specint,
-)
+from repro.workloads import SPECINT_NAMES
+from repro.workloads.registry import resolve_workload
 
-WORKLOAD_NAMES = tuple(SPECINT_NAMES) + ("dhrystone", "coremark")
+BACKEND_NAMES = ("cycle", "trace", "replay")
 
-
-def _build_workload(name: str, scale: float):
-    if name == "dhrystone":
-        return build_dhrystone(scale)
-    if name == "coremark":
-        return build_coremark(scale)
-    return build_specint(name, scale)
+#: What ``sweep --workloads all`` expands to: the benchmark suite (micro
+#: kernels stay opt-in by name).
+BENCH_WORKLOADS = tuple(SPECINT_NAMES) + ("dhrystone", "coremark")
 
 
 def _build_predictor(spec: str):
@@ -51,17 +49,20 @@ def _build_predictor(spec: str):
 
 
 def _cmd_run(args) -> int:
-    program = _build_workload(args.workload, args.scale)
+    source = resolve_workload(args.workload, args.scale)
     predictor = _build_predictor(args.predictor)
     config = CoreConfig(sfb_enabled=args.sfb)
     result = run_workload(
         predictor,
-        program,
+        source,
         config,
+        max_instructions=args.max_instructions,
         system_name=args.predictor,
         telemetry=args.telemetry or args.trace is not None,
         trace_path=args.trace,
+        backend=args.backend,
     )
+    print(f"backend: {result.backend}")
     print(result.row())
     print(
         f"  branches={result.branches} mispredicts={result.branch_mispredicts} "
@@ -76,8 +77,9 @@ def _cmd_run(args) -> int:
 
         print()
         print(format_summary(result.telemetry))
-        print()
-        print(format_attribution(result.telemetry, program))
+        if source.program is not None:
+            print()
+            print(format_attribution(result.telemetry, source.program))
     if args.trace is not None:
         print(f"\nevent trace written to {args.trace}")
     return 0
@@ -85,27 +87,39 @@ def _cmd_run(args) -> int:
 
 def _cmd_sweep(args) -> int:
     names = (
-        list(WORKLOAD_NAMES)
+        list(BENCH_WORKLOADS)
         if args.workloads == ["all"]
         else args.workloads
     )
-    programs = {name: _build_workload(name, args.scale) for name in names}
+    programs = {}
+    for name in names:
+        source = resolve_workload(name, args.scale)
+        programs[source.name] = (
+            source.program if source.program is not None else source.trace_path
+        )
     results = run_suite(
         args.predictors,
         programs,
         jobs=args.jobs,
         cache=args.cache,
         telemetry=args.telemetry,
+        backend=args.backend,
     )
     mpki = {s: {w: r.mpki for w, r in rows.items()} for s, rows in results.items()}
-    ipc = {s: {w: r.ipc for w, r in rows.items()} for s, rows in results.items()}
     for system in results:
         mpki[system]["MEAN"] = arithmetic_mean(list(mpki[system].values()))
-        ipc[system]["HMEAN"] = harmonic_mean(list(ipc[system].values()))
+    print(f"backend: {args.backend}")
     print("MPKI:")
     print(format_matrix(mpki, value_format="{:7.1f}", col_width=10))
-    print("\nIPC:")
-    print(format_matrix(ipc, value_format="{:7.2f}", col_width=10))
+    if args.backend == "cycle":
+        # Trace-driven backends carry no timing, so IPC is cycle-only.
+        ipc = {
+            s: {w: r.ipc for w, r in rows.items()} for s, rows in results.items()
+        }
+        for system in results:
+            ipc[system]["HMEAN"] = harmonic_mean(list(ipc[system].values()))
+        print("\nIPC:")
+        print(format_matrix(ipc, value_format="{:7.2f}", col_width=10))
     if args.telemetry:
         from repro.telemetry import format_component_table
 
@@ -144,6 +158,38 @@ def _cmd_golden(args) -> int:
         "`repro golden --update` and commit the diff"
     )
     return 1
+
+
+def _cmd_trace(args) -> int:
+    if args.action == "capture":
+        source = resolve_workload(args.workload, args.scale)
+        if source.program is None:
+            print(
+                f"{args.workload} is already a stored trace", file=sys.stderr
+            )
+            return 2
+        trace = source.branch_trace(args.max_instructions)
+        trace.save(args.out)
+        print(
+            f"captured {source.name}: {trace.instruction_count} instructions, "
+            f"{len(trace)} branch records -> {args.out}"
+        )
+        return 0
+    # replay
+    result = run_workload(
+        _build_predictor(args.predictor),
+        args.trace_file,
+        max_instructions=args.max_instructions,
+        system_name=args.predictor,
+        backend="replay",
+    )
+    print(f"backend: {result.backend}")
+    print(result.row())
+    print(
+        f"  branches={result.branches} "
+        f"mispredicts={result.branch_mispredicts}"
+    )
+    return 0
 
 
 def _cmd_area(args) -> int:
@@ -278,8 +324,14 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run one workload on one predictor")
     run.add_argument("--predictor", default="tage_l",
                      help="preset name or topology string")
-    run.add_argument("--workload", default="xz", choices=WORKLOAD_NAMES)
+    run.add_argument("--workload", default="xz",
+                     help="registered workload name or stored-trace .npz "
+                          "path (replay backend)")
     run.add_argument("--scale", type=float, default=0.5)
+    run.add_argument("--backend", default="cycle", choices=BACKEND_NAMES,
+                     help="execution backend (see docs/backends.md)")
+    run.add_argument("--max-instructions", type=int, default=None,
+                     help="bound the run's architectural instruction count")
     run.add_argument("--sfb", action="store_true",
                      help="enable short-forwards-branch predication")
     run.add_argument("--energy", action="store_true",
@@ -306,7 +358,35 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--telemetry", action="store_true",
                        help="attach telemetry collectors and print "
                             "per-component tables for every cell")
+    sweep.add_argument("--backend", default="cycle", choices=BACKEND_NAMES,
+                       help="execution backend for every cell (IPC table "
+                            "is cycle-only)")
     sweep.set_defaults(func=_cmd_sweep)
+
+    trace = sub.add_parser(
+        "trace", help="capture a branch trace to npz, or replay one"
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    capture = trace_sub.add_parser(
+        "capture", help="run a workload and store its branch trace"
+    )
+    capture.add_argument("--workload", default="xz",
+                         help="registered workload name")
+    capture.add_argument("--scale", type=float, default=0.5)
+    capture.add_argument("--out", required=True, metavar="PATH",
+                         help="output .npz path")
+    capture.add_argument("--max-instructions", type=int, default=None,
+                         help="capture budget (default: the trace backends' "
+                              "shared 1M-instruction default)")
+    capture.set_defaults(func=_cmd_trace)
+    replay = trace_sub.add_parser(
+        "replay", help="drive a predictor from a stored .npz trace"
+    )
+    replay.add_argument("trace_file", help="stored-trace .npz path")
+    replay.add_argument("--predictor", default="tage_l",
+                        help="preset name or topology string")
+    replay.add_argument("--max-instructions", type=int, default=None)
+    replay.set_defaults(func=_cmd_trace)
 
     area = sub.add_parser("area", help="area breakdown of a predictor")
     area.add_argument("--predictor", default="tage_l")

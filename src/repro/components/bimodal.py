@@ -96,7 +96,9 @@ class HBIM(PredictorComponent):
             slot.hit = True
             if not slot.is_jump:
                 slot.taken = counter_taken(counter, self.counter_bits)
-        meta = self._codec.pack(ctr=row)
+        # A MetaCodec field with one lane packs as a scalar, so a scalar
+        # (fetch_width=1) pipeline hands over the bare counter.
+        meta = self._codec.pack(ctr=row if self.fetch_width > 1 else row[0])
         return out, meta
 
     # ------------------------------------------------------------------
@@ -105,6 +107,8 @@ class HBIM(PredictorComponent):
         if not any(bundle.br_mask):
             return
         counters = self._codec.unpack(bundle.meta)["ctr"]
+        if self.fetch_width == 1:
+            counters = [counters]
         index = self._index(bundle.fetch_pc, bundle.ghist, bundle.lhist, bundle.phist)
         offset = bundle.fetch_pc % self.fetch_width
         row = self._table[index]

@@ -228,6 +228,30 @@ class ComposedPredictor:
         """False when the history file is full (fetch must stall)."""
         return not self.history_file.full
 
+    @property
+    def stale_window_active(self) -> bool:
+        """True while post-mispredict queries still see the stale history.
+
+        Only ever True in ``ghist_repair_mode="no_replay"`` (§VI-B): the
+        corruption window decrements on every ``predict()`` call, so
+        execution backends that elide queries (the replay fast path) must
+        check this before skipping a packet.
+        """
+        return self._stale_queries_remaining > 0
+
+    @property
+    def branchless_inert(self) -> bool:
+        """True when every component is inert on branchless packets.
+
+        The architectural replay backend may then skip packets without
+        control-flow instructions entirely (see
+        :mod:`repro.backends.packets`): the composed pipeline's state after
+        predicting, firing, and committing such a packet is identical to its
+        state before (histories shift in zero outcomes, components see an
+        all-False ``br_mask``).
+        """
+        return all(c.branchless_inert for c in self.components)
+
     def describe(self) -> str:
         return self.topology.describe()
 

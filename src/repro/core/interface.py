@@ -73,6 +73,19 @@ class InterfaceError(Exception):
 class PredictorComponent(abc.ABC):
     """Abstract base class for COBRA predictor sub-components.
 
+    Class attributes
+    ----------------
+    branchless_inert:
+        True (the default) declares that driving the component through a
+        packet containing no control-flow instruction — a lookup followed by
+        ``fire``/``on_update`` with an all-False ``br_mask`` and no CFI —
+        leaves its architectural state exactly as it was.  Every library
+        component satisfies this (counters, tags, and histories only move on
+        branch lanes), and the replay backend exploits it to skip branchless
+        packets entirely.  A component that learns from non-branch packets
+        must set this to False; the contract is enforced by rule CON008 of
+        ``repro check --components``.
+
     Parameters
     ----------
     name:
@@ -89,6 +102,9 @@ class PredictorComponent(abc.ABC):
         (override) components take one; arbitration schemes such as the
         tournament selector take two or more (§III-F).
     """
+
+    #: See the class docstring; checked dynamically by CON008.
+    branchless_inert: bool = True
 
     def __init__(
         self,

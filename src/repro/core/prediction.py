@@ -53,6 +53,39 @@ INVALID_SLOT = PreDecodedSlot(valid=False)
 PLAIN_SLOT = PreDecodedSlot()
 
 
+class PacketCache:
+    """Memoized pre-decoded fetch packets, keyed by fetch PC.
+
+    The single packet-assembly rule shared by every execution backend (the
+    cycle-level frontend, the trace simulator, and npz replay — see
+    :mod:`repro.backends`): ``slot_fn`` maps a PC to its
+    :class:`PreDecodedSlot`, and the cache builds aligned packets with
+    :func:`packet_span`, recording whether each packet contains any
+    control-flow instruction (the replay fast path's branchless test).
+    Valid because the instruction image is immutable during a run.
+    """
+
+    __slots__ = ("slot_fn", "fetch_width", "_packets")
+
+    def __init__(self, slot_fn, fetch_width: int):
+        self.slot_fn = slot_fn
+        self.fetch_width = fetch_width
+        self._packets = {}
+
+    def packet(self, fetch_pc: int) -> Tuple[Tuple[PreDecodedSlot, ...], bool]:
+        """``(slots, has_cfi)`` for the packet fetched at ``fetch_pc``."""
+        entry = self._packets.get(fetch_pc)
+        if entry is None:
+            slot_fn = self.slot_fn
+            slots = tuple(
+                slot_fn(fetch_pc + i)
+                for i in range(packet_span(fetch_pc, self.fetch_width))
+            )
+            entry = (slots, any(s.is_cfi for s in slots))
+            self._packets[fetch_pc] = entry
+        return entry
+
+
 @lru_cache(maxsize=65536)
 def predecode_slot(
     instr: Optional[Instruction], is_sfb: bool = False

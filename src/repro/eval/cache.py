@@ -21,6 +21,9 @@ names:
   bounds (``max_instructions``/``max_cycles``) — including the
   ``telemetry`` flag, so telemetry-on entries (whose stats carry a summary
   payload) never alias telemetry-off entries;
+- the execution backend name and, for ``replay`` jobs, a content hash of
+  the npz trace file, so cycle/trace/replay runs of the same design never
+  alias each other and editing a stored trace invalidates its entries;
 - :data:`CODE_VERSION`, bumped whenever simulator semantics change, so a
   stale cache can never leak results across incompatible versions.
 
@@ -87,22 +90,43 @@ def predictor_fingerprint(predictor: ComposedPredictor) -> Dict[str, Any]:
     }
 
 
+def trace_file_digest(path: Union[str, Path]) -> str:
+    """Content hash of a stored trace file (npz bytes, chunked read)."""
+    h = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
 def job_fingerprint(
     predictor: ComposedPredictor,
-    program: Program,
+    program: Optional[Program],
     core_config: Optional[CoreConfig],
     max_instructions: Optional[int],
     max_cycles: Optional[int] = None,
+    backend: str = "cycle",
+    trace_digest: Optional[str] = None,
+    workload: Optional[str] = None,
 ) -> Dict[str, Any]:
-    """The full cache-key payload for one (predictor, workload, core) run."""
+    """The full cache-key payload for one (predictor, workload, core) run.
+
+    ``program`` may be None for replay jobs driven purely from a stored
+    trace; such jobs must supply ``trace_digest`` (and ``workload`` for the
+    human-readable name) instead.
+    """
+    if program is None and trace_digest is None:
+        raise ValueError("job_fingerprint needs a program or a trace digest")
     return {
         "code_version": CODE_VERSION,
         "predictor": predictor_fingerprint(predictor),
-        "program": program_digest(program),
-        "workload": program.name,
+        "program": program_digest(program) if program is not None else None,
+        "workload": workload or (program.name if program is not None else ""),
         "core_config": dataclasses.asdict(core_config or CoreConfig()),
         "max_instructions": max_instructions,
         "max_cycles": max_cycles,
+        "backend": backend,
+        "trace": trace_digest,
     }
 
 

@@ -11,10 +11,15 @@ comparisons where noise is semantic), this gate is bit-exact: any change
 to predictor or core semantics must regenerate the goldens (``repro
 golden --update``) and justify the diff in review.
 
-Snapshot contents per cell: cycle count, committed instructions, control
-mispredicts, flushes, MPKI (fixed-precision string so float formatting
-cannot drift), and the per-component telemetry counters — so the gate
-catches attribution regressions, not just end-to-end totals.
+Snapshot contents per cell (schema 2): under ``"cycle"``, the cycle-level
+run — cycle count, committed instructions, control mispredicts, flushes,
+MPKI (fixed-precision string so float formatting cannot drift), and the
+per-component telemetry counters, so the gate catches attribution
+regressions, not just end-to-end totals; under ``"trace"``, the
+trace-backend run of the same (preset, workload) pair — branch and
+mispredict counts plus MPKI/accuracy — so drift in the trace-driven
+walker (which ``replay`` is bit-identical to by construction and by test)
+is gated exactly like drift in the core.
 """
 
 from __future__ import annotations
@@ -28,7 +33,7 @@ from repro.eval.runner import run_workload
 from repro.frontend.config import CoreConfig
 from repro.workloads.micro import build_micro
 
-GOLDEN_SCHEMA = 1
+GOLDEN_SCHEMA = 2
 
 #: The golden matrix: every preset over a spread of branchy micro kernels,
 #: small enough to run in seconds but long enough to exercise mispredict /
@@ -64,6 +69,17 @@ def _entry_payload(result) -> Dict[str, Any]:
     }
 
 
+def _trace_payload(result) -> Dict[str, Any]:
+    """The exact-match snapshot of one trace-backend run."""
+    return {
+        "branches": result.branches,
+        "mispredicts": result.branch_mispredicts,
+        "instructions": result.instructions,
+        "mpki": f"{result.mpki:.6f}",
+        "accuracy": f"{result.branch_accuracy:.6f}",
+    }
+
+
 def collect_stats(
     progress=None,
 ) -> Dict[str, Any]:
@@ -82,7 +98,17 @@ def collect_stats(
                 max_instructions=GOLDEN_MAX_INSTRUCTIONS,
                 telemetry=True,
             )
-            entries[preset][workload] = _entry_payload(result)
+            trace_result = run_workload(
+                preset,
+                program,
+                core_config=CoreConfig(),
+                max_instructions=GOLDEN_MAX_INSTRUCTIONS,
+                backend="trace",
+            )
+            entries[preset][workload] = {
+                "cycle": _entry_payload(result),
+                "trace": _trace_payload(trace_result),
+            }
     return {
         "schema": GOLDEN_SCHEMA,
         "suite": {

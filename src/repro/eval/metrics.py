@@ -50,9 +50,16 @@ class RunResult:
     #: Telemetry summary payload when the run was telemetry-enabled
     #: (JSON-canonical; survives artifact and cache round-trips).
     telemetry: Optional[Dict[str, Any]] = None
+    #: Which execution backend produced this result (``cycle``, ``trace``,
+    #: or ``replay``).  Trace-driven results carry no timing: ``cycles``,
+    #: ``ipc``, ``target_mispredicts`` and ``flushes`` are zero and ``mpki``
+    #: equals ``total_mpki`` (direction mispredicts only).
+    backend: str = "cycle"
 
     @classmethod
-    def from_stats(cls, system: str, workload: str, stats: CoreStats) -> "RunResult":
+    def from_stats(
+        cls, system: str, workload: str, stats: CoreStats, backend: str = "cycle"
+    ) -> "RunResult":
         return cls(
             system=system,
             workload=workload,
@@ -68,6 +75,7 @@ class RunResult:
             flushes=stats.flushes,
             stats=stats,
             telemetry=stats.telemetry,
+            backend=backend,
         )
 
     def row(self) -> str:

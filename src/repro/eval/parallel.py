@@ -41,7 +41,6 @@ from repro.core.composer import ComposedPredictor
 from repro.eval import cache as result_cache
 from repro.eval.metrics import RunResult
 from repro.frontend.config import CoreConfig
-from repro.frontend.core import Core
 from repro.isa.program import Program
 
 #: Called as ``progress(system, workload)`` as each job is dispatched.
@@ -60,10 +59,14 @@ class EvalJob:
     system: str
     spec: Union[str, Callable[[], ComposedPredictor]]
     workload: str
-    program: Program
+    program: Optional[Program] = None
     core_config: CoreConfig = field(default_factory=CoreConfig)
     max_instructions: Optional[int] = None
     max_cycles: Optional[int] = None
+    #: Execution backend name (see :mod:`repro.backends`).
+    backend: str = "cycle"
+    #: Stored ``BranchTrace`` npz for replay jobs with no live program.
+    trace_path: Optional[str] = None
 
 
 def build_predictor(spec: Union[str, Callable[[], ComposedPredictor]]):
@@ -75,12 +78,22 @@ def build_predictor(spec: Union[str, Callable[[], ComposedPredictor]]):
 
 def _execute_job(job: EvalJob) -> RunResult:
     """Run one job to completion; module-level so workers can unpickle it."""
+    # Function-level imports: repro.backends pulls in repro.eval.metrics, so
+    # importing it at module scope here would cycle through repro.eval.
+    from repro.backends import RunLimits, get_backend
+    from repro.workloads.registry import WorkloadSource
+
     predictor = build_predictor(job.spec)
-    core = Core(job.program, predictor, job.core_config)
-    stats = core.run(
-        max_instructions=job.max_instructions, max_cycles=job.max_cycles
+    source = WorkloadSource(
+        name=job.workload, program=job.program, trace_path=job.trace_path
     )
-    return RunResult.from_stats(job.system, job.workload, stats)
+    return get_backend(job.backend).run(
+        predictor,
+        source,
+        RunLimits(job.max_instructions, job.max_cycles),
+        core_config=job.core_config,
+        system=job.system,
+    )
 
 
 def _is_picklable(job: EvalJob) -> bool:
@@ -168,12 +181,20 @@ class ParallelRunner:
             self.progress(job.system, job.workload)
 
     def _key_for(self, job: EvalJob) -> str:
+        trace_digest = (
+            result_cache.trace_file_digest(job.trace_path)
+            if job.trace_path is not None
+            else None
+        )
         fingerprint = result_cache.job_fingerprint(
             build_predictor(job.spec),
             job.program,
             job.core_config,
             job.max_instructions,
             job.max_cycles,
+            backend=job.backend,
+            trace_digest=trace_digest,
+            workload=job.workload,
         )
         return result_cache.fingerprint_key(fingerprint)
 

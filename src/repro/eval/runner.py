@@ -11,7 +11,6 @@ from repro.eval.cache import ResultCache
 from repro.eval.metrics import RunResult
 from repro.eval.parallel import EvalJob, ParallelRunner
 from repro.frontend.config import CoreConfig
-from repro.frontend.core import Core
 from repro.isa.program import Program
 from repro import presets
 
@@ -40,29 +39,40 @@ def _resolve_system(spec: SystemSpec, default_config: Optional[CoreConfig] = Non
 
 def run_workload(
     predictor: Union[str, ComposedPredictor],
-    program: Program,
+    program: Union[Program, str],
     core_config: Optional[CoreConfig] = None,
     max_instructions: Optional[int] = None,
     max_cycles: Optional[int] = None,
     system_name: Optional[str] = None,
     telemetry: bool = False,
     trace_path: Optional[Union[str, Path]] = None,
+    backend: str = "cycle",
 ) -> RunResult:
     """Run one workload to completion on one predictor.
 
     ``predictor`` may be a preset name (a fresh instance is built) or an
     already-constructed :class:`ComposedPredictor` (which is *not* reset:
-    callers own warm-up semantics).
+    callers own warm-up semantics).  ``program`` may be a live
+    :class:`Program`, a registered workload name, or a stored-trace
+    ``.npz`` path (see :mod:`repro.workloads.registry`).
 
-    ``telemetry`` attaches a collector and publishes its summary on the
-    result; ``trace_path`` additionally streams a bounded JSONL event
-    trace to that file (and implies ``telemetry``).
+    ``backend`` picks the execution methodology (``cycle``, ``trace``, or
+    ``replay`` — see :mod:`repro.backends`).  ``telemetry`` attaches a
+    collector and publishes its summary on the result; ``trace_path``
+    additionally streams a bounded JSONL event trace to that file (and
+    implies ``telemetry``).
     """
+    # Function-level import: repro.backends imports repro.eval.metrics and
+    # must not be pulled in while repro.eval is itself initializing.
+    from repro.backends import RunLimits, get_backend
+    from repro.workloads.registry import resolve_workload
+
     if isinstance(predictor, str):
         name = system_name or predictor
         predictor = presets.build(predictor)
     else:
         name = system_name or predictor.describe()
+    source = resolve_workload(program)
     config = core_config or CoreConfig()
     trace = None
     if trace_path is not None:
@@ -72,17 +82,22 @@ def run_workload(
     if (telemetry or trace is not None) and not config.telemetry:
         config = dataclasses.replace(config, telemetry=True)
     try:
-        core = Core(program, predictor, config, trace=trace)
-        stats = core.run(max_instructions=max_instructions, max_cycles=max_cycles)
+        return get_backend(backend).run(
+            predictor,
+            source,
+            RunLimits(max_instructions, max_cycles),
+            core_config=config,
+            system=name,
+            trace=trace,
+        )
     finally:
         if trace is not None:
             trace.close()
-    return RunResult.from_stats(name, program.name, stats)
 
 
 def run_suite(
     systems: Iterable[SystemSpec],
-    programs: Mapping[str, Program],
+    programs: Mapping[str, Union[Program, str, Path]],
     max_instructions: Optional[int] = None,
     progress: Optional[Callable[[str, str], None]] = None,
     max_cycles: Optional[int] = None,
@@ -90,6 +105,7 @@ def run_suite(
     jobs: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
     telemetry: bool = False,
+    backend: str = "cycle",
 ) -> Dict[str, Dict[str, RunResult]]:
     """Run every (system, workload) pair; returns results[system][workload].
 
@@ -109,6 +125,11 @@ def run_suite(
     their own config get a telemetry-enabled copy of it).  Telemetry flips
     the cache fingerprint — telemetry-on and telemetry-off results never
     alias — and the summary payload round-trips through cached entries.
+
+    ``backend`` selects the execution methodology for every cell; a
+    ``programs`` value may be a stored-trace ``.npz`` path (replay jobs
+    carry the trace file, not a live program).  The backend (and the trace
+    file's content hash) is part of the cache fingerprint.
     """
     batch = []
     order: Dict[str, None] = {}
@@ -117,16 +138,19 @@ def run_suite(
         if telemetry and not config.telemetry:
             config = dataclasses.replace(config, telemetry=True)
         order.setdefault(name)
-        for workload_name, program in programs.items():
+        for workload_name, workload in programs.items():
+            is_program = isinstance(workload, Program)
             batch.append(
                 EvalJob(
                     system=name,
                     spec=predictor_spec,
                     workload=workload_name,
-                    program=program,
+                    program=workload if is_program else None,
                     core_config=config,
                     max_instructions=max_instructions,
                     max_cycles=max_cycles,
+                    backend=backend,
+                    trace_path=None if is_program else str(workload),
                 )
             )
     runner = ParallelRunner(jobs=jobs, cache=cache, progress=progress)

@@ -56,6 +56,7 @@ def evaluate_designs(
     jobs: int = 1,
     cache: Union[None, str, Path, ResultCache] = None,
     telemetry: bool = False,
+    backend: str = "cycle",
 ) -> List[DesignPoint]:
     """Run every design over every workload; return one point per design.
 
@@ -64,6 +65,11 @@ def evaluate_designs(
     independent, so they fan over worker processes and replay from the
     deterministic result cache without changing any number.  ``telemetry``
     attaches per-run collectors, as in :func:`run_suite`.
+
+    ``backend`` selects the execution methodology for every cell (see
+    :mod:`repro.backends`).  Trace-driven backends report zero IPC, so
+    ``harmean_ipc`` is forced to 0.0 for them rather than fed through the
+    harmonic mean (which rejects zeros).
     """
     area_model = area_model or AreaModel()
     config = core_config or CoreConfig()
@@ -76,6 +82,7 @@ def evaluate_designs(
             workload=workload_name,
             program=program,
             core_config=config,
+            backend=backend,
         )
         for name, factory in designs.items()
         for workload_name, program in programs.items()
@@ -103,7 +110,7 @@ def evaluate_designs(
                 name=name,
                 topology=topology,
                 mean_mpki=arithmetic_mean(list(mpki.values())),
-                harmean_ipc=harmonic_mean(ipcs),
+                harmean_ipc=harmonic_mean(ipcs) if backend == "cycle" else 0.0,
                 mean_accuracy=arithmetic_mean(accs),
                 area_um2=area,
                 direction_storage_kib=storage,

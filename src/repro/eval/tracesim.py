@@ -8,18 +8,21 @@ is directly measurable in this repository: run the same workload through
 :class:`TraceSimulator` and through :class:`~repro.frontend.core.Core` and
 compare accuracies (see ``benchmarks/bench_trace_vs_core.py``).
 
-The trace simulator presents each architectural branch to the predictor in
-commit order, one fetch packet per control-flow transfer, with no wrong
-path, no speculative history corruption, and no update delay.
+The packet walk itself lives in :mod:`repro.backends.packets` and is
+shared with the ``replay`` backend; this class remains as the thin,
+historical front door (``repro.backends`` is the full backend layer).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.composer import ComposedPredictor, PreDecodedSlot
-from repro.core.prediction import packet_span, predecode_slot
-from repro.isa.interpreter import Interpreter
+from repro.backends.packets import (
+    drive_stream,
+    interpreter_stream,
+    program_packets,
+)
+from repro.core.composer import ComposedPredictor
 from repro.isa.program import Program
 
 
@@ -27,13 +30,29 @@ from repro.isa.program import Program
 class TraceResult:
     branches: int
     mispredicts: int
+    #: Architectural instructions covered by the walk (0 on results built
+    #: by very old callers that never supplied it).
+    instructions: int = 0
 
     @property
     def accuracy(self) -> float:
         return 1.0 - self.mispredicts / self.branches if self.branches else 1.0
 
     @property
+    def mpki(self) -> float:
+        """Mispredicts per kilo-*instruction* — the paper's MPKI metric."""
+        if not self.instructions:
+            return 0.0
+        return 1000.0 * self.mispredicts / self.instructions
+
+    @property
     def mpki_per_branch(self) -> float:
+        """Mispredicts per kilo-*branch* (not per kilo-instruction).
+
+        Historical misnomer kept for compatibility: this is a pure
+        accuracy rescaling (``1000 * (1 - accuracy)``).  For the MPKI the
+        paper reports, use :attr:`mpki`.
+        """
         return 1000.0 * self.mispredicts / self.branches if self.branches else 0.0
 
 
@@ -43,68 +62,16 @@ class TraceSimulator:
     def __init__(self, predictor: ComposedPredictor, program: Program):
         self.predictor = predictor
         self.program = program
-        self._packet_cache = {}
-
-    def _predecode(self, pc: int) -> PreDecodedSlot:
-        # The shared, memoized pre-decode rule — identical to the cycle-level
-        # frontend's, so trace-vs-core comparisons measure modelling error,
-        # never classification skew.
-        return predecode_slot(self.program.fetch(pc))
+        self._packets = program_packets(program, predictor.config.fetch_width)
 
     def run(self, max_instructions: int = 1_000_000) -> TraceResult:
         """Drive the predictor down the architectural path, packet by packet."""
-        width = self.predictor.config.fetch_width
-        branches = 0
-        mispredicts = 0
-        interp = Interpreter(self.program)
-        stream = interp.run(max_instructions)
-        record = next(stream, None)
-        while record is not None:
-            fetch_pc = record.pc
-            slots = self._packet_cache.get(fetch_pc)
-            if slots is None:
-                slots = tuple(
-                    self._predecode(fetch_pc + i)
-                    for i in range(packet_span(fetch_pc, width))
-                )
-                self._packet_cache[fetch_pc] = slots
-            span = len(slots)
-            result = self.predictor.predict(fetch_pc, slots, None)
-
-            # Walk the architectural records covered by this packet: they
-            # follow sequentially until a taken transfer or the packet ends.
-            mispredict_info = None
-            consumed = 0
-            while record is not None and record.pc == fetch_pc + consumed:
-                slot_idx = consumed
-                instr = record.instr
-                if instr.is_cond_branch:
-                    branches += 1
-                    predicted = result.final.slots[slot_idx].taken
-                    if predicted != record.taken:
-                        mispredicts += 1
-                        if mispredict_info is None:
-                            mispredict_info = (
-                                slot_idx,
-                                record.taken,
-                                record.next_pc if record.taken else None,
-                            )
-                consumed += 1
-                ends_packet = (
-                    record.next_pc != record.pc + 1
-                    or consumed >= span
-                    or (mispredict_info is not None and result.cut == slot_idx)
-                )
-                record = next(stream, None)
-                if ends_packet:
-                    break
-            if mispredict_info is not None:
-                slot_idx, taken, target = mispredict_info
-                self.predictor.resolve_mispredict(
-                    result.ftq_id, slot_idx, taken, target
-                )
-            self.predictor.commit_packet(result.ftq_id)
-        return TraceResult(branches, mispredicts)
+        counts = drive_stream(
+            self.predictor,
+            interpreter_stream(self.program, max_instructions),
+            self._packets,
+        )
+        return TraceResult(counts.branches, counts.mispredicts, counts.instructions)
 
 
 def trace_accuracy(

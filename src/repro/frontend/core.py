@@ -28,7 +28,7 @@ from typing import Any, Deque, Dict, List, Optional, Tuple
 
 from repro.components.ras import RasSnapshot, ReturnAddressStack
 from repro.core.composer import ComposedPredictor, PreDecodedSlot, PredictResult
-from repro.core.prediction import packet_span, predecode_slot
+from repro.core.prediction import PacketCache, packet_span, predecode_slot
 from repro.frontend.caches import DataCacheModel, InstructionCacheModel
 from repro.frontend.config import CoreConfig
 from repro.frontend.oracle import OracleStream
@@ -212,11 +212,12 @@ class Core:
         # Remaining instructions to commit per in-flight packet.
         self._packet_remaining: Dict[int, int] = {}
         # Per-PC fetch memoization (the program is immutable during a run):
-        # pre-decoded slots, whole pre-decoded packets keyed by fetch PC, and
-        # dispatch-slot lists keyed by (fetch_pc, length, followed next PC).
+        # pre-decoded slots, whole pre-decoded packets (the PacketCache
+        # shared with the trace-driven backends), and dispatch-slot lists
+        # keyed by (fetch_pc, length, followed next PC).
         self._memo = self.config.fetch_memoization
         self._predecode_cache: Dict[int, PreDecodedSlot] = {}
-        self._packet_slots_cache: Dict[int, Tuple[PreDecodedSlot, ...]] = {}
+        self._packets = PacketCache(self._predecode_slot, self.config.fetch_width)
         self._dispatch_cache: Dict[Tuple[int, int, int], List[_DispatchSlot]] = {}
 
     # ------------------------------------------------------------------
@@ -254,15 +255,6 @@ class Core:
         self._predecode_cache[pc] = slot
         return slot
 
-    def _packet_slots(self, fetch_pc: int, width: int) -> Tuple[PreDecodedSlot, ...]:
-        """The pre-decoded packet starting at ``fetch_pc`` (memoized)."""
-        cached = self._packet_slots_cache.get(fetch_pc)
-        if cached is not None:
-            return cached
-        slots = tuple(self._predecode_slot(fetch_pc + i) for i in range(width))
-        if self._memo:
-            self._packet_slots_cache[fetch_pc] = slots
-        return slots
 
     # ------------------------------------------------------------------
     # Cycle loop
@@ -619,10 +611,10 @@ class Core:
 
     def _issue_fetch(self) -> None:
         fetch_pc = self._fetch_pc
-        width = packet_span(fetch_pc, self.config.fetch_width)
         if self._memo:
-            slots = self._packet_slots(fetch_pc, width)
+            slots = self._packets.packet(fetch_pc)[0]
         else:
+            width = packet_span(fetch_pc, self.config.fetch_width)
             slots = [self._predecode_slot(fetch_pc + i) for i in range(width)]
         ras_top = self.ras.peek()
         snapshot = self.ras.snapshot()

@@ -29,6 +29,13 @@ from repro.workloads.specint import SPECINT_NAMES, build as build_specint
 from repro.workloads.traces import BranchTrace, capture_trace
 from repro.workloads.dhrystone import build_dhrystone
 from repro.workloads.coremark import build_coremark
+from repro.workloads.registry import (
+    WorkloadSource,
+    build_workload,
+    register_workload,
+    resolve_workload,
+    workload_names,
+)
 
 __all__ = [
     "DataAllocator",
@@ -50,4 +57,9 @@ __all__ = [
     "capture_trace",
     "build_dhrystone",
     "build_coremark",
+    "WorkloadSource",
+    "build_workload",
+    "register_workload",
+    "resolve_workload",
+    "workload_names",
 ]

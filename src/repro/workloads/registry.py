@@ -1,0 +1,120 @@
+"""Uniform workload naming and resolution (the ``WorkloadSource`` layer).
+
+Entry points used to hard-code their own workload spellings: the CLI knew
+the SPECint/Dhrystone/CoreMark names, the golden gate built micros
+directly, and captured ``BranchTrace`` files could not be named at all.
+This module gives every execution backend one resolution rule:
+
+- a named preset (any SPECint kernel, ``dhrystone``, ``coremark``, or a
+  micro kernel) builds its :class:`~repro.isa.program.Program` through the
+  builder registry;
+- a path ending in ``.npz`` is a stored branch trace (replayable, and —
+  since traces do not carry instruction bytes — valid only for the
+  ``replay`` backend);
+- an in-memory :class:`Program` or an explicit :class:`WorkloadSource`
+  passes through unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.isa.program import Program
+from repro.workloads.coremark import build_coremark
+from repro.workloads.dhrystone import build_dhrystone
+from repro.workloads.micro import MICRO_NAMES, build_micro
+from repro.workloads.specint import SPECINT_NAMES, build as build_specint
+from repro.workloads.traces import BranchTrace, capture_trace
+
+
+@dataclass
+class WorkloadSource:
+    """One workload, in whichever form a backend can consume.
+
+    Exactly one of ``program`` / ``trace_path`` is set.  Backends that
+    execute instructions (``cycle``, ``trace``) require the program;
+    ``replay`` accepts either — given a program it captures the trace on
+    the fly, given an ``.npz`` path it loads the stored columns.
+    """
+
+    name: str
+    program: Optional[Program] = None
+    trace_path: Optional[Union[str, Path]] = None
+
+    def require_program(self, backend: str) -> Program:
+        if self.program is None:
+            raise ValueError(
+                f"workload {self.name!r} is a stored trace "
+                f"({self.trace_path}); the {backend!r} backend executes "
+                f"instructions and needs a Program — use the replay backend "
+                f"for .npz traces"
+            )
+        return self.program
+
+    def branch_trace(self, max_instructions: Optional[int] = None) -> BranchTrace:
+        """The workload as a :class:`BranchTrace` (loaded or captured).
+
+        An on-the-fly capture is bounded by the same default instruction
+        budget the ``trace`` backend uses, so an uncapped ``trace`` run and
+        a replay of a default capture cover the same stream.
+        """
+        if self.trace_path is not None:
+            return BranchTrace.load(self.trace_path)
+        from repro.backends.base import DEFAULT_TRACE_INSTRUCTIONS
+
+        limit = (
+            max_instructions
+            if max_instructions is not None
+            else DEFAULT_TRACE_INSTRUCTIONS
+        )
+        return capture_trace(self.program, max_instructions=limit)
+
+
+#: Named builders, ``name -> builder(scale) -> Program``.
+WORKLOAD_BUILDERS: Dict[str, Callable[[float], Program]] = {}
+
+
+def register_workload(name: str, builder: Callable[[float], Program]) -> None:
+    if name in WORKLOAD_BUILDERS:
+        raise ValueError(f"workload {name!r} already registered")
+    WORKLOAD_BUILDERS[name] = builder
+
+
+for _name in SPECINT_NAMES:
+    register_workload(_name, lambda scale, _n=_name: build_specint(_n, scale))
+register_workload("dhrystone", build_dhrystone)
+register_workload("coremark", build_coremark)
+for _name in MICRO_NAMES:
+    register_workload(_name, lambda scale, _n=_name: build_micro(_n, scale))
+
+
+def workload_names() -> Tuple[str, ...]:
+    """Every registered workload name, in registration order."""
+    return tuple(WORKLOAD_BUILDERS)
+
+
+def build_workload(name: str, scale: float = 0.5) -> Program:
+    try:
+        builder = WORKLOAD_BUILDERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; have {sorted(WORKLOAD_BUILDERS)}"
+        ) from None
+    return builder(scale)
+
+
+def resolve_workload(
+    spec: Union[str, Path, Program, WorkloadSource],
+    scale: float = 0.5,
+) -> WorkloadSource:
+    """Normalize any workload spelling to a :class:`WorkloadSource`."""
+    if isinstance(spec, WorkloadSource):
+        return spec
+    if isinstance(spec, Program):
+        return WorkloadSource(name=spec.name, program=spec)
+    text = str(spec)
+    if text.endswith(".npz"):
+        return WorkloadSource(name=Path(text).stem, trace_path=text)
+    return WorkloadSource(name=text, program=build_workload(text, scale))

@@ -3,19 +3,31 @@
 The software simulators the paper contrasts against (§II-B) consume branch
 *traces*: per-branch records of (pc, type, taken, target).  This module
 captures such traces from the interpreter, stores them compactly (npz), and
-characterizes them — so the repository supports the trace-based workflow as
-a first-class (if deliberately inferior, per the paper) methodology, and so
-workload branch character is itself measurable.
+characterizes them — and, since schema 2, stores enough to *replay* them
+through a composed predictor with no interpreter in the loop
+(:mod:`repro.backends.replay`):
+
+- ``entry_pc`` plus the control-flow records fully determine the
+  architectural PC stream (non-CFI instructions advance the PC by one, and
+  ``targets`` stores ``next_pc`` for not-taken branches too);
+- ``slot_kinds``/``slot_targets`` are per-static-PC pre-decode tables, so
+  replay rebuilds fetch packets identical to what
+  :func:`~repro.core.prediction.predecode_slot` derives from the program
+  image.
+
+Schema-1 files still load (``characterize`` works); only replay requires
+the schema-2 columns.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.prediction import predecode_slot
 from repro.isa.interpreter import Interpreter
 from repro.isa.program import Program
 
@@ -26,6 +38,18 @@ TYPE_JALR = 2
 TYPE_CALL = 3
 TYPE_RET = 4
 
+#: Pre-decode slot-kind codes in the schema-2 static tables.
+SLOT_PLAIN = 0
+SLOT_COND = 1
+SLOT_JAL = 2
+SLOT_JAL_CALL = 3
+SLOT_JALR = 4
+SLOT_JALR_RET = 5
+
+#: Current npz schema.  1: dynamic branch columns only.  2: adds
+#: ``entry_pc`` and the static pre-decode tables needed for replay.
+TRACE_SCHEMA = 2
+
 
 @dataclass
 class BranchTrace:
@@ -34,33 +58,56 @@ class BranchTrace:
     pcs: np.ndarray      # int64
     types: np.ndarray    # uint8 (TYPE_*)
     taken: np.ndarray    # bool (always True for jumps)
-    targets: np.ndarray  # int64 (next_pc when taken)
+    targets: np.ndarray  # int64 (next_pc, taken or not)
     #: Architectural instruction count of the traced run (for MPKI).
     instruction_count: int = 0
+    #: Entry PC of the traced program (schema 2; replay starts here).
+    entry_pc: int = 0
+    #: Per-static-PC pre-decode kind (SLOT_*), uint8; None for schema-1
+    #: files, which cannot be replayed.
+    slot_kinds: Optional[np.ndarray] = None
+    #: Per-static-PC direct target, int64, -1 when none.
+    slot_targets: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return len(self.pcs)
 
+    @property
+    def replayable(self) -> bool:
+        """Whether this trace carries the schema-2 replay columns."""
+        return self.slot_kinds is not None and self.slot_targets is not None
+
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        np.savez_compressed(
-            Path(path),
+        payload = dict(
             pcs=self.pcs,
             types=self.types,
             taken=self.taken,
             targets=self.targets,
             instruction_count=np.int64(self.instruction_count),
         )
+        if self.replayable:
+            payload.update(
+                schema=np.int64(TRACE_SCHEMA),
+                entry_pc=np.int64(self.entry_pc),
+                slot_kinds=self.slot_kinds,
+                slot_targets=self.slot_targets,
+            )
+        np.savez_compressed(Path(path), **payload)
 
     @classmethod
     def load(cls, path: Union[str, Path]) -> "BranchTrace":
         data = np.load(Path(path))
+        has_replay = "slot_kinds" in data.files
         return cls(
             pcs=data["pcs"],
             types=data["types"],
             taken=data["taken"],
             targets=data["targets"],
             instruction_count=int(data["instruction_count"]),
+            entry_pc=int(data["entry_pc"]) if has_replay else 0,
+            slot_kinds=data["slot_kinds"] if has_replay else None,
+            slot_targets=data["slot_targets"] if has_replay else None,
         )
 
     # ------------------------------------------------------------------
@@ -89,6 +136,24 @@ class BranchTrace:
         return stats
 
 
+def _slot_tables(program: Program) -> Tuple[np.ndarray, np.ndarray]:
+    """Static pre-decode tables over the program image (schema 2)."""
+    n = len(program.instructions)
+    kinds = np.zeros(n, dtype=np.uint8)
+    targets = np.full(n, -1, dtype=np.int64)
+    for pc, instr in enumerate(program.instructions):
+        slot = predecode_slot(instr)
+        if slot.is_cond_branch:
+            kinds[pc] = SLOT_COND
+        elif slot.is_jal:
+            kinds[pc] = SLOT_JAL_CALL if slot.is_call else SLOT_JAL
+        elif slot.is_jalr:
+            kinds[pc] = SLOT_JALR_RET if slot.is_ret else SLOT_JALR
+        if slot.direct_target is not None:
+            targets[pc] = slot.direct_target
+    return kinds, targets
+
+
 def capture_trace(program: Program, max_instructions: int = 5_000_000) -> BranchTrace:
     """Execute ``program`` and record every control-flow transfer."""
     pcs, types, taken, targets = [], [], [], []
@@ -112,10 +177,14 @@ def capture_trace(program: Program, max_instructions: int = 5_000_000) -> Branch
         types.append(kind)
         taken.append(record.taken or instr.is_jump)
         targets.append(record.next_pc)
+    slot_kinds, slot_targets = _slot_tables(program)
     return BranchTrace(
         pcs=np.asarray(pcs, dtype=np.int64),
         types=np.asarray(types, dtype=np.uint8),
         taken=np.asarray(taken, dtype=bool),
         targets=np.asarray(targets, dtype=np.int64),
         instruction_count=count,
+        entry_pc=program.entry,
+        slot_kinds=slot_kinds,
+        slot_targets=slot_targets,
     )

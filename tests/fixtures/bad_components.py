@@ -83,6 +83,9 @@ class HistorySniffer(_Base):
 class LeakyReset(_Base):
     """CON004: accumulates state that reset() forgets to clear."""
 
+    # Honest about learning on every packet (CON008 is not the bug here).
+    branchless_inert = False
+
     def __init__(self, name, latency):
         super().__init__(name, latency)
         self._seen = []
@@ -96,6 +99,9 @@ class LeakyReset(_Base):
 
 class FireWithoutRepair(_Base):
     """CON005: fire mutates state and on_repair does not undo it."""
+
+    # Honest about learning on every packet (CON008 is not the bug here).
+    branchless_inert = False
 
     def __init__(self, name, latency):
         super().__init__(name, latency)
@@ -132,6 +138,22 @@ class Flaky(_Base):
         return predict_in[0].copy(), random.getrandbits(8)
 
 
+class BranchlessLearner(_Base):
+    """CON008: learns on every committed packet — including packets with
+    no control flow — while leaving ``branchless_inert`` at its default
+    True, so the replay fast path would silently diverge."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency)
+        self._fetches = 0
+
+    def on_update(self, bundle):
+        self._fetches += 1
+
+    def reset(self):
+        self._fetches = 0
+
+
 class MiscountedMeta(_Base):
     """TOP003: declares fewer meta_bits than its codec actually packs."""
 
@@ -152,4 +174,5 @@ VIOLATIONS = {
     "CON005": ("NOREPAIR", FireWithoutRepair),
     "CON006": ("BADSTORE", WrongStorage),
     "CON007": ("FLAKY", Flaky),
+    "CON008": ("BRLEARN", BranchlessLearner),
 }

@@ -1,0 +1,352 @@
+"""Tests for the pluggable execution-backend layer (``repro.backends``).
+
+The load-bearing guarantee: the ``replay`` backend — columnar walk, no
+interpreter, branchless packets skipped — reproduces the ``trace``
+backend's branch and mispredict counts bit for bit, for every preset,
+with and without the fast path's gating conditions, and across a
+save/load process boundary.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import cli, presets
+from repro.backends import (
+    DEFAULT_BACKEND,
+    RunLimits,
+    backend_names,
+    get_backend,
+)
+from repro.backends.packets import drive_stream, program_packets
+from repro.backends.replay import drive_columns, trace_packets, trace_stream
+from repro.backends.trace import TraceBackend
+from repro.components.library import standard_library
+from repro.core.composer import ComposerConfig, compose
+from repro.eval.runner import run_workload
+from repro.eval.tracesim import TraceResult
+from repro.isa.program import Program
+from repro.workloads.micro import build_micro
+from repro.workloads.registry import (
+    WorkloadSource,
+    build_workload,
+    resolve_workload,
+    workload_names,
+)
+from repro.workloads.traces import BranchTrace, capture_trace
+
+BUDGET = 8_000
+
+
+@pytest.fixture(scope="module")
+def micro_program():
+    return build_micro("counted_loops", scale=0.2)
+
+
+@pytest.fixture(scope="module")
+def micro_npz(micro_program, tmp_path_factory):
+    path = tmp_path_factory.mktemp("traces") / "counted_loops.npz"
+    capture_trace(micro_program, max_instructions=BUDGET).save(path)
+    return path
+
+
+def counts(result):
+    return (result.branches, result.branch_mispredicts, result.instructions)
+
+
+# ----------------------------------------------------------------------
+# Registry and source resolution
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_backend_registry_names(self):
+        assert set(backend_names()) == {"cycle", "trace", "replay"}
+        assert DEFAULT_BACKEND == "cycle"
+        with pytest.raises(KeyError, match="unknown execution backend"):
+            get_backend("emulate")
+
+    def test_resolve_name_builds_program(self):
+        source = resolve_workload("dispatch", scale=0.2)
+        assert source.program is not None and source.trace_path is None
+
+    def test_resolve_program_and_source_pass_through(self, micro_program):
+        source = resolve_workload(micro_program)
+        assert source.program is micro_program
+        assert resolve_workload(source) is source
+
+    def test_resolve_npz_path_is_trace(self, micro_npz):
+        source = resolve_workload(str(micro_npz))
+        assert source.trace_path == str(micro_npz)
+        assert source.program is None
+        assert source.name == "counted_loops"
+
+    def test_unknown_workload_name(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            build_workload("solitaire")
+        assert "counted_loops" in workload_names()
+
+    def test_cycle_backend_rejects_stored_trace(self, micro_npz):
+        source = WorkloadSource(name="t", trace_path=micro_npz)
+        with pytest.raises(ValueError, match="needs a Program"):
+            get_backend("cycle").run(
+                presets.build("b2"), source, RunLimits(max_instructions=1000)
+            )
+
+
+# ----------------------------------------------------------------------
+# Bit-identity of the trace-driven backends
+# ----------------------------------------------------------------------
+class TestBitIdentity:
+    @pytest.mark.parametrize("preset", presets.PRESET_NAMES)
+    def test_replay_matches_trace_per_preset(
+        self, preset, micro_program, micro_npz
+    ):
+        limits = RunLimits(max_instructions=BUDGET)
+        live = WorkloadSource(name="m", program=micro_program)
+        stored = WorkloadSource(name="m", trace_path=micro_npz)
+        t = get_backend("trace").run(presets.build(preset), live, limits)
+        r = get_backend("replay").run(presets.build(preset), stored, limits)
+        assert counts(t) == counts(r)
+        assert t.branches > 0 and t.branch_mispredicts > 0
+        assert t.backend == "trace" and r.backend == "replay"
+
+    def test_columnar_walker_matches_stream_walkers(self, micro_program):
+        """drive_columns == drive_stream, skipping or not."""
+        trace = capture_trace(micro_program, max_instructions=BUDGET)
+        walked = {}
+        for label in ("columns", "skip", "full"):
+            predictor = presets.build("b2")
+            packets = trace_packets(trace, predictor.config.fetch_width)
+            if label == "columns":
+                w = drive_columns(predictor, trace, packets, BUDGET)
+            else:
+                w = drive_stream(
+                    predictor,
+                    trace_stream(trace, BUDGET),
+                    packets,
+                    skip_inert=(label == "skip"),
+                )
+            walked[label] = (w.instructions, w.branches, w.mispredicts)
+        assert walked["columns"] == walked["skip"] == walked["full"]
+
+    def test_stale_history_window_gates_the_skip(self, micro_program):
+        """``no_replay`` repair keeps post-mispredict queries exact."""
+        trace = capture_trace(micro_program, max_instructions=BUDGET)
+        results = []
+        for use_columns in (True, False):
+            predictor = presets.build("b2", ghist_repair_mode="no_replay")
+            packets = trace_packets(trace, predictor.config.fetch_width)
+            if use_columns:
+                w = drive_columns(predictor, trace, packets, BUDGET)
+            else:
+                w = drive_stream(
+                    predictor, trace_stream(trace, BUDGET), packets
+                )
+            results.append(
+                (w.instructions, w.branches, w.mispredicts,
+                 predictor.stats.stale_history_queries)
+            )
+        assert results[0] == results[1]
+        assert results[0][3] > 0  # the window was actually exercised
+
+    def test_telemetry_forces_the_fallback_walker_and_matches(
+        self, micro_program, micro_npz
+    ):
+        limits = RunLimits(max_instructions=BUDGET)
+        stored = WorkloadSource(name="m", trace_path=micro_npz)
+        bare = get_backend("replay").run(
+            presets.build("b2"), stored, limits
+        )
+        from repro.frontend.config import CoreConfig
+
+        with_tel = get_backend("replay").run(
+            presets.build("b2"),
+            stored,
+            limits,
+            core_config=CoreConfig(telemetry=True),
+        )
+        assert counts(bare) == counts(with_tel)
+        assert with_tel.telemetry is not None and bare.telemetry is None
+
+    def test_scalar_pipeline_replay_matches_trace(self, micro_program):
+        """fetch_width=1: the backend-overhead benchmark configuration."""
+        def scalar_bimodal():
+            library = standard_library(
+                fetch_width=1, global_history_bits=16, gtag_history_bits=16
+            )
+            return compose(
+                "BIM2",
+                library,
+                ComposerConfig(fetch_width=1, global_history_bits=16),
+            )
+
+        limits = RunLimits(max_instructions=BUDGET)
+        live = WorkloadSource(name="m", program=micro_program)
+        trace = capture_trace(micro_program, max_instructions=BUDGET)
+        t = get_backend("trace").run(scalar_bimodal(), live, limits)
+        predictor = scalar_bimodal()
+        w = drive_columns(predictor, trace, trace_packets(trace, 1), BUDGET)
+        assert counts(t) == (w.branches, w.mispredicts, w.instructions)
+
+
+# ----------------------------------------------------------------------
+# Capture -> save -> load -> replay round trip
+# ----------------------------------------------------------------------
+class TestRoundTrip:
+    def test_replay_across_processes(self, micro_program, micro_npz):
+        reference = get_backend("trace").run(
+            presets.build("tage_l"),
+            WorkloadSource(name="m", program=micro_program),
+            RunLimits(max_instructions=BUDGET),
+        )
+        script = (
+            "from repro.eval.runner import run_workload\n"
+            f"r = run_workload('tage_l', {str(micro_npz)!r}, "
+            f"max_instructions={BUDGET}, backend='replay')\n"
+            "print(r.branches, r.branch_mispredicts, r.instructions)\n"
+        )
+        src = Path(__file__).resolve().parent.parent / "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src)},
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert tuple(map(int, proc.stdout.split())) == counts(reference)
+
+    def test_schema1_trace_loads_but_cannot_replay(self, tmp_path):
+        legacy = BranchTrace(
+            pcs=np.array([4, 9], dtype=np.int64),
+            types=np.zeros(2, dtype=np.uint8),
+            taken=np.array([True, False]),
+            targets=np.array([9, 10], dtype=np.int64),
+            instruction_count=12,
+        )
+        path = tmp_path / "legacy.npz"
+        legacy.save(path)
+        loaded = BranchTrace.load(path)
+        assert not loaded.replayable
+        assert loaded.characterize()["branches"] == 2.0
+        with pytest.raises(ValueError, match="schema-1"):
+            get_backend("replay").run(
+                presets.build("b2"),
+                WorkloadSource(name="legacy", trace_path=path),
+                RunLimits(max_instructions=12),
+            )
+
+    def test_run_workload_replay_equals_trace(self, micro_program, micro_npz):
+        t = run_workload(
+            "b2", micro_program, max_instructions=BUDGET, backend="trace"
+        )
+        r = run_workload(
+            "b2", str(micro_npz), max_instructions=BUDGET, backend="replay"
+        )
+        assert counts(t) == counts(r)
+        assert (t.cycles, t.ipc, t.flushes) == (0, 0.0, 0)
+
+
+# ----------------------------------------------------------------------
+# Metrics semantics
+# ----------------------------------------------------------------------
+class TestMetrics:
+    def test_trace_result_mpki_is_per_instruction(self):
+        result = TraceResult(branches=200, mispredicts=10, instructions=4000)
+        assert result.mpki == pytest.approx(2.5)
+        assert result.mpki_per_branch == pytest.approx(50.0)
+        assert result.accuracy == pytest.approx(0.95)
+
+    def test_trace_result_mpki_zero_without_instruction_count(self):
+        legacy = TraceResult(branches=200, mispredicts=10)
+        assert legacy.mpki == 0.0
+        assert legacy.mpki_per_branch == pytest.approx(50.0)
+
+    def test_counts_result_mpki_uses_instructions(self, micro_program):
+        r = run_workload(
+            "b2", micro_program, max_instructions=BUDGET, backend="trace"
+        )
+        assert r.mpki == pytest.approx(
+            1000.0 * r.branch_mispredicts / r.instructions
+        )
+
+    def test_trace_backend_applies_default_budget(self):
+        # A 6-instruction program halts long before the default cap.
+        program = build_micro("steady_loop", scale=0.1)
+        backend = TraceBackend()
+        result = backend.run(
+            presets.build("b2"),
+            WorkloadSource(name="m", program=program),
+            RunLimits(),
+        )
+        assert 0 < result.instructions <= 1_000_000
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_trace_capture_then_replay(self, tmp_path, capsys):
+        npz = tmp_path / "dispatch.npz"
+        rc = cli.main(
+            ["trace", "capture", "--workload", "dispatch", "--scale", "0.2",
+             "--out", str(npz), "--max-instructions", str(BUDGET)]
+        )
+        assert rc == 0 and npz.exists()
+        capture_out = capsys.readouterr().out
+        assert "captured" in capture_out
+
+        rc = cli.main(
+            ["trace", "replay", str(npz), "--predictor", "b2",
+             "--max-instructions", str(BUDGET)]
+        )
+        assert rc == 0
+        replay_out = capsys.readouterr().out
+        assert "backend: replay" in replay_out
+
+    def test_run_backend_flag_reproduces_counts(self, tmp_path, capsys):
+        npz = tmp_path / "m.npz"
+        rc = cli.main(
+            ["trace", "capture", "--workload", "counted_loops", "--scale",
+             "0.2", "--out", str(npz), "--max-instructions", str(BUDGET)]
+        )
+        assert rc == 0
+        capsys.readouterr()
+
+        outputs = {}
+        for backend, workload in (
+            ("trace", "counted_loops"),
+            ("replay", str(npz)),
+        ):
+            rc = cli.main(
+                ["run", "--predictor", "b2", "--workload", workload,
+                 "--scale", "0.2", "--backend", backend,
+                 "--max-instructions", str(BUDGET)]
+            )
+            assert rc == 0
+            outputs[backend] = capsys.readouterr().out
+            assert f"backend: {backend}" in outputs[backend]
+
+        def extract(text, field):
+            for token in text.split():
+                if token.startswith(field + "="):
+                    return int(token.split("=")[1])
+            raise AssertionError(f"{field} not in output")
+
+        for field in ("branches", "mispredicts"):
+            assert extract(outputs["trace"], field) == extract(
+                outputs["replay"], field
+            )
+
+    def test_capture_refuses_trace_input(self, tmp_path, capsys):
+        npz = tmp_path / "x.npz"
+        capture_trace(
+            build_micro("dispatch", scale=0.2), max_instructions=1000
+        ).save(npz)
+        rc = cli.main(
+            ["trace", "capture", "--workload", str(npz), "--out",
+             str(tmp_path / "y.npz")]
+        )
+        assert rc == 2
+        assert "already a stored trace" in capsys.readouterr().err

@@ -37,10 +37,12 @@ class TestCommittedSnapshot:
         """Golden cells must exercise the mispredict/repair machinery."""
         for cells in committed["entries"].values():
             for cell in cells.values():
-                assert cell["cycles"] > 0
-                assert cell["instructions"] > 0
-                assert cell["repair"]["walks"] > 0
-                assert cell["components"]
+                assert cell["cycle"]["cycles"] > 0
+                assert cell["cycle"]["instructions"] > 0
+                assert cell["cycle"]["repair"]["walks"] > 0
+                assert cell["cycle"]["components"]
+                assert cell["trace"]["branches"] > 0
+                assert cell["trace"]["instructions"] > 0
 
     def test_fresh_run_matches_committed(self, committed, fresh):
         """The actual gate: simulation semantics drifted if this fails.
@@ -55,18 +57,27 @@ class TestCommittedSnapshot:
 class TestDriftDetection:
     def test_perturbed_counter_detected(self, committed):
         perturbed = json.loads(json.dumps(committed))
-        perturbed["entries"]["b2"]["dispatch"]["cycles"] += 1
+        perturbed["entries"]["b2"]["dispatch"]["cycle"]["cycles"] += 1
         messages = golden.diff_goldens(committed, perturbed)
         assert len(messages) == 1
-        assert "b2.dispatch.cycles" in messages[0]
+        assert "b2.dispatch.cycle.cycles" in messages[0]
+
+    def test_perturbed_trace_counter_detected(self, committed):
+        perturbed = json.loads(json.dumps(committed))
+        perturbed["entries"]["b2"]["dispatch"]["trace"]["mispredicts"] += 1
+        messages = golden.diff_goldens(committed, perturbed)
+        assert len(messages) == 1
+        assert "b2.dispatch.trace.mispredicts" in messages[0]
 
     def test_perturbed_component_counter_detected(self, committed):
         perturbed = json.loads(json.dumps(committed))
-        entry = perturbed["entries"]["tourney"]["biased"]
+        entry = perturbed["entries"]["tourney"]["biased"]["cycle"]
         name = sorted(entry["components"])[0]
         entry["components"][name]["direction_wrong"] += 5
         messages = golden.diff_goldens(committed, perturbed)
-        assert any(f"tourney.biased.components.{name}" in m for m in messages)
+        assert any(
+            f"tourney.biased.cycle.components.{name}" in m for m in messages
+        )
 
     def test_missing_cell_detected(self, committed):
         perturbed = json.loads(json.dumps(committed))
@@ -98,7 +109,7 @@ class TestCheckApi:
         perturbed = json.loads(json.dumps(fresh))
         preset = golden.GOLDEN_PRESETS[0]
         workload = golden.GOLDEN_WORKLOADS[0]
-        perturbed["entries"][preset][workload]["branch_mispredicts"] += 1
+        perturbed["entries"][preset][workload]["cycle"]["branch_mispredicts"] += 1
         ok, messages = golden.check_goldens(GOLDEN_PATH, fresh=perturbed)
         assert not ok
         assert any("branch_mispredicts" in m for m in messages)
@@ -134,7 +145,7 @@ class TestCli:
         perturbed = json.loads(json.dumps(fresh))
         preset = golden.GOLDEN_PRESETS[0]
         workload = golden.GOLDEN_WORKLOADS[0]
-        perturbed["entries"][preset][workload]["cycles"] += 1
+        perturbed["entries"][preset][workload]["cycle"]["cycles"] += 1
         golden.save_goldens(perturbed, target)
         assert main(["golden", "--check", "--path", str(target)]) == 1
         out = capsys.readouterr().out

@@ -13,10 +13,12 @@ from repro.eval.cache import (
     program_digest,
     result_from_payload,
     result_to_payload,
+    trace_file_digest,
 )
 from repro.eval.runner import run_suite, run_workload
 from repro.frontend.config import CoreConfig
 from repro.workloads.micro import build_micro
+from repro.workloads.traces import capture_trace
 
 
 @pytest.fixture(scope="module")
@@ -78,6 +80,62 @@ class TestFingerprint:
 
     def test_fingerprint_carries_code_version(self, program):
         assert _fingerprint(program)["code_version"] == CODE_VERSION
+
+
+class TestBackendKeys:
+    """The execution backend and trace content are part of the key."""
+
+    def test_each_backend_gets_a_distinct_key(self, program):
+        keys = {
+            fingerprint_key(_fingerprint(program, backend=backend))
+            for backend in ("cycle", "trace", "replay")
+        }
+        assert len(keys) == 3
+
+    def test_trace_content_changes_the_key(self, program, tmp_path):
+        short = tmp_path / "short.npz"
+        long = tmp_path / "long.npz"
+        capture_trace(program, max_instructions=1000).save(short)
+        capture_trace(program, max_instructions=2000).save(long)
+        assert trace_file_digest(short) != trace_file_digest(long)
+        keys = {
+            fingerprint_key(
+                _fingerprint(
+                    None,
+                    backend="replay",
+                    trace_digest=trace_file_digest(path),
+                    workload="biased",
+                )
+            )
+            for path in (short, long)
+        }
+        assert len(keys) == 2
+
+    def test_identical_trace_bytes_share_a_key(self, program, tmp_path):
+        a = tmp_path / "a.npz"
+        b = tmp_path / "b.npz"
+        for path in (a, b):
+            capture_trace(program, max_instructions=1000).save(path)
+        assert trace_file_digest(a) == trace_file_digest(b)
+
+    def test_traceless_replay_fingerprint_is_rejected(self):
+        with pytest.raises(ValueError, match="program or a trace digest"):
+            _fingerprint(None, backend="replay")
+
+    def test_suite_cache_does_not_alias_backends(self, tmp_path):
+        """cycle and trace runs of one job land in separate entries."""
+        programs = {"biased": build_micro("biased", scale=0.2)}
+        cache = ResultCache(tmp_path / "c")
+        for backend in ("cycle", "trace"):
+            run_suite(
+                ["b2"],
+                programs,
+                max_instructions=2000,
+                cache=cache,
+                backend=backend,
+            )
+        assert len(cache) == 2
+        assert cache.hits == 0
 
 
 class TestRoundTrip:
