@@ -10,6 +10,8 @@ Commands
 - ``topology`` — parse and describe a topology string (sanity check).
 - ``golden``   — check or regenerate the committed golden-stats snapshot.
 - ``check``    — static analysis: topology, component contracts, lints.
+- ``fuzz``     — differential fuzzing: run a campaign or replay a
+  minimized reproducer artifact (see ``docs/fuzzing.md``).
 
 ``run`` and ``sweep`` take ``--backend {cycle,trace,replay}`` to pick the
 execution methodology (see ``docs/backends.md``); workloads are named
@@ -21,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro import presets
@@ -28,6 +31,7 @@ from repro.core import compose
 from repro.eval import harmonic_mean, run_suite, run_workload
 from repro.eval.metrics import arithmetic_mean
 from repro.frontend import CoreConfig
+from repro.fuzz.oracles import ORACLES as FUZZ_ORACLES
 from repro.synthesis import AreaModel, EnergyModel, format_breakdown
 from repro.synthesis.report import format_matrix
 from repro.workloads import SPECINT_NAMES
@@ -314,6 +318,55 @@ def _cmd_check(args) -> int:
     return code
 
 
+def _cmd_fuzz(args) -> int:
+    from repro.fuzz import FuzzConfig, run_campaign
+
+    if args.action == "repro":
+        from repro.fuzz import replay_reproducer
+
+        outcome = replay_reproducer(args.reproducer)
+        repro = outcome.reproducer
+        print(f"reproducer: {args.reproducer}")
+        print(f"oracle:     {repro.oracle}")
+        print(f"case:       {repro.case.describe()}")
+        if repro.generator_drift:
+            print(
+                "note: generators no longer rebuild this program from its "
+                "spec; replaying the stored instruction columns"
+            )
+        if outcome.status == "clean":
+            print("CLEAN: the recorded failure no longer reproduces")
+        elif outcome.status == "reproduced":
+            print(
+                f"REPRODUCED: same {len(outcome.mismatches)} mismatch(es) "
+                "as recorded"
+            )
+        else:
+            print("DIVERGED: still failing, but differently than recorded")
+        for mismatch in outcome.mismatches:
+            print(mismatch.format())
+        return outcome.exit_code
+
+    # run
+    oracles = args.oracles or list(FUZZ_ORACLES)
+    config = FuzzConfig(
+        seed=args.seed,
+        iterations=args.iterations,
+        oracles=tuple(oracles),
+        max_instructions=args.max_instructions,
+        include_presets=not args.no_presets,
+        topologies=args.topology or None,
+        out_dir=None if args.no_artifacts else Path(args.out_dir),
+        minimize=not args.no_minimize,
+        time_budget=args.budget,
+        stop_after=args.stop_after,
+    )
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    report = run_campaign(config, progress=progress)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -449,6 +502,54 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-entry metadata budget for TOP007 "
                             "(default 256)")
     check.set_defaults(func=_cmd_check)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: random (topology, workload) cases "
+             "through the oracle battery",
+    )
+    fuzz_sub = fuzz.add_subparsers(dest="action", required=True)
+    fuzz_run = fuzz_sub.add_parser(
+        "run", help="run a seeded fuzz campaign"
+    )
+    fuzz_run.add_argument("--seed", type=int, default=0,
+                          help="campaign seed; (seed, iteration) fully "
+                               "determines every case")
+    fuzz_run.add_argument("--iterations", type=int, default=50,
+                          help="number of cases to draw")
+    fuzz_run.add_argument("--oracles", nargs="+", default=None,
+                          choices=sorted(FUZZ_ORACLES),
+                          help="oracle subset (default: all)")
+    fuzz_run.add_argument("--max-instructions", type=int, default=4000,
+                          help="per-case instruction budget")
+    fuzz_run.add_argument("--budget", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget; stop drawing new cases "
+                               "once exceeded")
+    fuzz_run.add_argument("--stop-after", type=int, default=None,
+                          metavar="N",
+                          help="stop the campaign after N failing cases")
+    fuzz_run.add_argument("--out-dir", default="fuzz-reproducers",
+                          help="directory for minimized reproducer "
+                               "artifacts")
+    fuzz_run.add_argument("--no-artifacts", action="store_true",
+                          help="report failures without writing artifacts")
+    fuzz_run.add_argument("--no-minimize", action="store_true",
+                          help="keep failing cases unshrunk")
+    fuzz_run.add_argument("--no-presets", action="store_true",
+                          help="draw only random topologies (skip the "
+                               "shipped-preset cases)")
+    fuzz_run.add_argument("--topology", action="append", metavar="SPEC",
+                          help="fuzz this fixed topology instead of random "
+                               "draws (repeatable)")
+    fuzz_run.add_argument("--quiet", action="store_true",
+                          help="suppress per-case progress lines")
+    fuzz_run.set_defaults(func=_cmd_fuzz)
+    fuzz_repro = fuzz_sub.add_parser(
+        "repro", help="replay a stored reproducer artifact"
+    )
+    fuzz_repro.add_argument("reproducer", help="reproducer .npz path")
+    fuzz_repro.set_defaults(func=_cmd_fuzz)
     return parser
 
 

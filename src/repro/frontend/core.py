@@ -144,7 +144,16 @@ class _InFlightFetch:
         #: redirect check does not re-scan the prediction vector every cycle
         #: the bundle sits in the fetch pipeline.
         self.stage_next = stage_next
-        self.followed_next_pc = stage_next[0]
+        if len(stage_next) == 1:
+            # A single-stage pipeline has no later stage to override the
+            # fetched path, and its stage-1 answer IS the final one — which
+            # pre-decode has already corrected within the same fetch cycle.
+            # Follow the corrected PC, or bogus raw predictions (e.g. a BTB
+            # hit on a non-CFI slot) would steer fetch down a path the ROB
+            # never learns about.
+            self.followed_next_pc = result.next_fetch_pc
+        else:
+            self.followed_next_pc = stage_next[0]
 
 
 _NOP = Instruction(Opcode.NOP)

@@ -1,0 +1,71 @@
+"""Differential fuzzing of the framework's execution paths.
+
+The fuzzer draws seeded random (topology, workload) cases, runs each
+through a battery of differential oracles — equivalence contracts the
+framework guarantees (backend bit-identity, parallel == serial, cache
+round trips, telemetry attach invariance, check-clean topologies) — and,
+on any disagreement, shrinks the case and writes a self-contained
+reproducer artifact.  See ``docs/fuzzing.md``.
+"""
+
+from repro.fuzz.campaign import (
+    FuzzConfig,
+    FuzzFailure,
+    FuzzReport,
+    case_for_iteration,
+    run_campaign,
+)
+from repro.fuzz.generate import (
+    KernelSpec,
+    ProgramSpec,
+    TopologyFactory,
+    build_program,
+    campaign_rng,
+    random_program_spec,
+    random_topology_spec,
+)
+from repro.fuzz.minimize import MinimizationResult, ddmin, minimize_case
+from repro.fuzz.oracles import (
+    DEFAULT_ORACLES,
+    ORACLES,
+    FuzzCase,
+    Mismatch,
+    run_oracle,
+    run_oracles,
+)
+from repro.fuzz.reproducer import (
+    ReplayOutcome,
+    Reproducer,
+    load_reproducer,
+    replay_reproducer,
+    save_reproducer,
+)
+
+__all__ = [
+    "DEFAULT_ORACLES",
+    "ORACLES",
+    "FuzzCase",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzReport",
+    "KernelSpec",
+    "MinimizationResult",
+    "Mismatch",
+    "ProgramSpec",
+    "ReplayOutcome",
+    "Reproducer",
+    "TopologyFactory",
+    "build_program",
+    "campaign_rng",
+    "case_for_iteration",
+    "ddmin",
+    "load_reproducer",
+    "minimize_case",
+    "random_program_spec",
+    "random_topology_spec",
+    "replay_reproducer",
+    "run_campaign",
+    "run_oracle",
+    "run_oracles",
+    "save_reproducer",
+]

@@ -1,0 +1,259 @@
+"""Seed-driven differential fuzzing campaigns.
+
+A campaign is a deterministic function of its seed: iteration ``i`` draws
+its topology and workload from ``campaign_rng(seed, i)``, so any failure
+is addressable as (seed, iteration) before a reproducer artifact even
+exists.  Each case runs the configured oracle battery; on a mismatch the
+case is shrunk (:mod:`repro.fuzz.minimize`) and written out as a
+self-contained reproducer (:mod:`repro.fuzz.reproducer`).
+
+Case mix: by default every fourth case exercises a shipped preset
+(``tage_l``/``b2``/``tourney``), the rest draw random topologies — the
+presets keep the battery honest on the configurations users actually run,
+the random draws cover the composition space.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence
+
+from repro import presets
+from repro.fuzz.generate import (
+    TopologyFactory,
+    campaign_rng,
+    random_program_spec,
+    random_topology_spec,
+)
+from repro.fuzz.minimize import minimize_case
+from repro.fuzz.oracles import (
+    DEFAULT_ORACLES,
+    FuzzCase,
+    Mismatch,
+    run_oracles,
+)
+from repro.fuzz.reproducer import save_reproducer
+from repro.workloads.traces import capture_trace
+
+#: Shipped presets a campaign cycles through (every fourth case).
+PRESET_POOL = presets.PRESET_NAMES
+
+_PRESET_TOPOLOGIES = {
+    "tage_l": presets.TAGE_L_TOPOLOGY,
+    "b2": presets.B2_TOPOLOGY,
+    "tourney": presets.TOURNEY_TOPOLOGY,
+}
+
+
+@dataclasses.dataclass
+class FuzzConfig:
+    """Everything that determines a campaign (and thus its failures)."""
+
+    seed: int = 0
+    iterations: int = 50
+    oracles: Sequence[str] = DEFAULT_ORACLES
+    max_instructions: int = 4_000
+    max_kernels: int = 4
+    #: Mix shipped presets into the case stream (every fourth case).
+    include_presets: bool = True
+    #: Fixed topology pool instead of random draws (None = random).
+    topologies: Optional[Sequence[str]] = None
+    #: Fixed predictor factory for every case (fixture/regression runs).
+    predictor_factory: Optional[Callable] = None
+    #: Label reported for ``predictor_factory`` cases.
+    factory_label: str = "custom"
+    #: Where minimized reproducer artifacts go (None = don't write).
+    out_dir: Optional[Path] = None
+    minimize: bool = True
+    minimize_evals: int = 200
+    #: Wall-clock budget in seconds; the campaign stops drawing new cases
+    #: once exceeded (None = run all iterations).
+    time_budget: Optional[float] = None
+    #: Stop the campaign after this many failing cases (None = keep going).
+    stop_after: Optional[int] = None
+
+
+@dataclasses.dataclass
+class FuzzFailure:
+    """One failing case, its shrunk form, and where the artifact went."""
+
+    iteration: int
+    case: FuzzCase
+    oracle: str
+    mismatches: List[Mismatch]
+    minimized: Optional[FuzzCase] = None
+    reproducer_path: Optional[Path] = None
+
+
+@dataclasses.dataclass
+class FuzzReport:
+    """Outcome of one campaign."""
+
+    seed: int
+    iterations_requested: int
+    iterations_run: int
+    oracles: Sequence[str]
+    failures: List[FuzzFailure]
+    elapsed: float
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        verdict = (
+            "clean" if self.ok else f"{len(self.failures)} failing case(s)"
+        )
+        lines = [
+            f"fuzz seed={self.seed}: {self.iterations_run}/"
+            f"{self.iterations_requested} case(s) in {self.elapsed:.1f}s "
+            f"over oracles [{', '.join(self.oracles)}]: {verdict}"
+        ]
+        for failure in self.failures:
+            shrunk = failure.minimized or failure.case
+            lines.append(
+                f"  iter {failure.iteration} [{failure.oracle}] "
+                f"{shrunk.describe()}"
+            )
+            if failure.reproducer_path is not None:
+                lines.append(f"    reproducer: {failure.reproducer_path}")
+            for mismatch in failure.mismatches:
+                lines.append(
+                    "    " + mismatch.format().replace("\n", "\n    ")
+                )
+        return "\n".join(lines)
+
+
+def case_for_iteration(config: FuzzConfig, iteration: int) -> FuzzCase:
+    """The deterministic case drawn at ``(config.seed, iteration)``."""
+    rng = campaign_rng(config.seed, iteration)
+    program_spec = random_program_spec(rng, max_kernels=config.max_kernels)
+    if config.predictor_factory is not None:
+        spec = config.predictor_factory
+        label = config.factory_label
+        topology = config.factory_label
+    elif config.topologies:
+        chosen = config.topologies[iteration % len(config.topologies)]
+        spec = TopologyFactory(chosen)
+        label = f"fixed{iteration % len(config.topologies)}"
+        topology = chosen
+    elif config.include_presets and iteration % 4 == 3:
+        name = PRESET_POOL[(iteration // 4) % len(PRESET_POOL)]
+        spec = name
+        label = name
+        topology = _PRESET_TOPOLOGIES[name]
+    else:
+        drawn = random_topology_spec(rng)
+        spec = TopologyFactory(drawn)
+        label = f"rand{iteration}"
+        topology = drawn
+    return FuzzCase(
+        case_id=iteration,
+        seed=config.seed,
+        label=label,
+        predictor_spec=spec,
+        topology=topology,
+        program_spec=program_spec,
+        max_instructions=config.max_instructions,
+    )
+
+
+def _handle_failure(
+    config: FuzzConfig,
+    iteration: int,
+    case: FuzzCase,
+    mismatches: List[Mismatch],
+    scratch: Path,
+) -> FuzzFailure:
+    oracle = mismatches[0].oracle
+    failure = FuzzFailure(
+        iteration=iteration, case=case, oracle=oracle, mismatches=mismatches
+    )
+    if config.minimize:
+        shrunk = minimize_case(
+            case, oracle, scratch, max_evals=config.minimize_evals
+        )
+        failure.minimized = shrunk.case
+        failure.mismatches = shrunk.mismatches
+    if config.out_dir is not None:
+        final = failure.minimized or case
+        trace = None
+        if oracle == "backends":
+            # Embed the captured branch trace for forensics.
+            trace = capture_trace(
+                final.program(), max_instructions=final.max_instructions
+            )
+        failure.reproducer_path = save_reproducer(
+            Path(config.out_dir)
+            / f"repro-seed{config.seed}-iter{iteration}-{oracle}.npz",
+            final,
+            oracle,
+            failure.mismatches,
+            trace=trace,
+        )
+    return failure
+
+
+def run_campaign(
+    config: FuzzConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run one campaign and return its report."""
+
+    def note(message: str) -> None:
+        if progress is not None:
+            progress(message)
+
+    started = time.monotonic()
+    failures: List[FuzzFailure] = []
+    iterations_run = 0
+    with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+        scratch = Path(tmp)
+        for iteration in range(config.iterations):
+            elapsed = time.monotonic() - started
+            if (
+                config.time_budget is not None
+                and elapsed > config.time_budget
+            ):
+                note(
+                    f"time budget {config.time_budget:.0f}s exhausted after "
+                    f"{iterations_run} case(s)"
+                )
+                break
+            case = case_for_iteration(config, iteration)
+            mismatches = run_oracles(config.oracles, case, scratch)
+            iterations_run += 1
+            if not mismatches:
+                note(f"[{iteration}] ok    {case.describe()}")
+                continue
+            note(
+                f"[{iteration}] FAIL  {case.describe()} "
+                f"({mismatches[0].oracle}: {len(mismatches)} mismatch(es))"
+            )
+            failure = _handle_failure(
+                config, iteration, case, mismatches, scratch
+            )
+            if failure.minimized is not None:
+                note(
+                    f"[{iteration}] shrunk to {failure.minimized.describe()}"
+                )
+            if failure.reproducer_path is not None:
+                note(f"[{iteration}] wrote {failure.reproducer_path}")
+            failures.append(failure)
+            if (
+                config.stop_after is not None
+                and len(failures) >= config.stop_after
+            ):
+                note(f"stopping after {len(failures)} failure(s)")
+                break
+    return FuzzReport(
+        seed=config.seed,
+        iterations_requested=config.iterations,
+        iterations_run=iterations_run,
+        oracles=tuple(config.oracles),
+        failures=failures,
+        elapsed=time.monotonic() - started,
+    )

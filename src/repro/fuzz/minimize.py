@@ -1,0 +1,217 @@
+"""Automatic shrinking of failing fuzz cases.
+
+A raw failing case is rarely actionable: it names a four-kernel workload
+over thousands of instructions and a deep topology.  This module reduces
+it while preserving the failure, with the classic delta-debugging loop
+(ddmin: chunk deletion over the kernel-spec list) plus domain-aware
+shrinks:
+
+1. drop whole kernels from the workload (``ddmin``);
+2. reduce the driver loop's outer iteration count;
+3. shrink the run's instruction budget;
+4. shrink each kernel's size parameters toward their domain floor;
+5. simplify the topology — replace an override with its subordinate chain
+   or its head alone, replace an arbitration with one of its children —
+   until no simpler topology still fails.
+
+Every candidate is a *well-formed* case (specs, never raw instruction
+edits), so the predicate is simply "does the recorded oracle still report
+a mismatch".  The shrink is deterministic and bounded by ``max_evals``
+oracle executions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.fuzz.generate import (
+    TopologyFactory,
+    param_floor,
+    shrink_param,
+)
+from repro.fuzz.oracles import FuzzCase, Mismatch, run_oracle
+
+T = TypeVar("T")
+
+#: The smallest instruction budget the minimizer will try.
+MIN_INSTRUCTIONS = 256
+
+
+def ddmin(
+    items: Sequence[T], predicate: Callable[[List[T]], bool]
+) -> List[T]:
+    """Classic delta debugging: a 1-minimal failing subset of ``items``.
+
+    ``predicate(subset)`` must return True when the failure reproduces on
+    ``subset``.  The caller guarantees ``predicate(items)`` holds.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        for start in range(0, len(items), chunk):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and predicate(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(granularity * 2, len(items))
+    return items
+
+
+def topology_candidates(spec: str) -> List[str]:
+    """Strictly simpler topology specs, smallest first.
+
+    Candidates come from structural rewrites of the parsed tree: an
+    override collapses to its subordinate chain or to its head alone; an
+    arbitration collapses to any one child; rewrites recurse into
+    subtrees.  Candidates only need to *compose* — analysis warnings are
+    irrelevant to a minimizer chasing a dynamic divergence.
+    """
+    from repro.components.library import standard_library
+    from repro.core.parser import parse_topology
+    from repro.core.topology import Arbitrate, Leaf, Override
+
+    try:
+        root = parse_topology(spec, standard_library())
+    except Exception:
+        return []
+
+    def variants(node):
+        if isinstance(node, Override):
+            yield node.lo
+            yield Leaf(node.hi)
+            for alt in variants(node.lo):
+                yield Override(node.hi, alt)
+        elif isinstance(node, Arbitrate):
+            for child in node.children:
+                yield child
+            for index, child in enumerate(node.children):
+                for alt in variants(child):
+                    children = list(node.children)
+                    children[index] = alt
+                    yield Arbitrate(node.selector, children)
+
+    seen = set()
+    out: List[str] = []
+    for candidate in sorted((v.describe() for v in variants(root)), key=len):
+        if candidate not in seen and candidate != spec:
+            seen.add(candidate)
+            out.append(candidate)
+    return out
+
+
+@dataclasses.dataclass
+class MinimizationResult:
+    """The shrunk case plus the mismatches it still produces."""
+
+    case: FuzzCase
+    mismatches: List[Mismatch]
+    evals: int
+
+
+def minimize_case(
+    case: FuzzCase,
+    oracle_name: str,
+    scratch: Path,
+    max_evals: int = 200,
+) -> MinimizationResult:
+    """Shrink ``case`` while ``oracle_name`` still reports a mismatch."""
+    evals = 0
+    last_mismatches: List[Mismatch] = []
+
+    def fails(candidate: FuzzCase) -> bool:
+        nonlocal evals, last_mismatches
+        if evals >= max_evals:
+            return False
+        evals += 1
+        found = run_oracle(oracle_name, candidate, scratch)
+        if found:
+            last_mismatches = found
+        return bool(found)
+
+    if not fails(case):
+        # Flaky or budget-zero: report the case unshrunk.
+        return MinimizationResult(case, last_mismatches or [], evals)
+    current = case
+    baseline = last_mismatches
+
+    def with_kernels(kernels: Sequence) -> FuzzCase:
+        spec = dataclasses.replace(current.program_spec, kernels=tuple(kernels))
+        return dataclasses.replace(current, program_spec=spec)
+
+    # 1. Drop whole kernels (delta debugging by chunk deletion).
+    kernels = ddmin(
+        list(current.program_spec.kernels),
+        lambda subset: fails(with_kernels(subset)),
+    )
+    current = with_kernels(kernels)
+
+    # 2. Reduce the driver loop's outer iteration count.
+    while current.program_spec.outer_iterations > 1:
+        outer = current.program_spec.outer_iterations
+        for trial in (1, outer // 2):
+            if trial >= outer:
+                continue
+            spec = dataclasses.replace(current.program_spec, outer_iterations=trial)
+            candidate = dataclasses.replace(current, program_spec=spec)
+            if fails(candidate):
+                current = candidate
+                break
+        else:
+            break
+
+    # 3. Shrink the instruction budget.
+    while current.max_instructions > MIN_INSTRUCTIONS:
+        trial = max(MIN_INSTRUCTIONS, current.max_instructions // 2)
+        candidate = dataclasses.replace(current, max_instructions=trial)
+        if not fails(candidate):
+            break
+        current = candidate
+
+    # 4. Shrink each kernel's size parameters toward the domain floor.
+    for index, kernel in enumerate(current.program_spec.kernels):
+        for param, value in kernel.params:
+            floor = param_floor(kernel.kernel, param)
+            while value > floor:
+                trial_value = max(floor, value // 2)
+                kernels = list(current.program_spec.kernels)
+                kernels[index] = shrink_param(kernels[index], param, trial_value)
+                candidate = with_kernels(kernels)
+                if not fails(candidate):
+                    break
+                current = candidate
+                value = trial_value
+
+    # 5. Simplify the topology (random-topology cases only; presets are
+    # named designs with their own libraries, not spec strings).
+    if not current.is_preset:
+        simplified = True
+        while simplified:
+            simplified = False
+            for spec in topology_candidates(current.topology):
+                candidate = dataclasses.replace(
+                    current,
+                    predictor_spec=TopologyFactory(spec),
+                    topology=spec,
+                )
+                if fails(candidate):
+                    current = candidate
+                    simplified = True
+                    break
+
+    # Record the mismatches of the final minimal case (re-run so the
+    # reproducer stores exactly what this case produces, not a stale
+    # intermediate).
+    final = run_oracle(oracle_name, current, scratch)
+    evals += 1
+    if not final:  # pragma: no cover - deterministic oracles cannot flake
+        final = baseline
+    return MinimizationResult(current, final, evals)

@@ -1,0 +1,400 @@
+"""Differential oracles: equivalence contracts a fuzz case must satisfy.
+
+Each oracle runs one generated (predictor, workload) case through two or
+more execution paths that the framework guarantees agree exactly, and
+reports every disagreement as a :class:`Mismatch`.  The catalog:
+
+``backends``
+    Bit-identity of the trace-driven family: the ``trace`` backend
+    (interpreter stream) versus a save/load ``replay`` of the captured
+    :class:`~repro.workloads.traces.BranchTrace` (the columnar fast path)
+    versus the stream walker with the branchless-skip enabled.  The
+    ``cycle`` backend is deliberately *not* in this oracle: its wrong-path
+    predictor pollution makes its mispredict counts differ from the
+    trace-driven methodology by design (§II-B, ``docs/backends.md``).
+``parallel``
+    ``run_suite`` with ``jobs=2`` must reproduce the serial reference run
+    payload-for-payload (results, stats, everything).
+``cache``
+    A result served from the deterministic result cache must equal both
+    the run that populated it and a fresh uncached run.
+``telemetry``
+    Attaching a telemetry collector must not change any measured count, on
+    the cycle backend and on replay (where telemetry forces the fallback
+    walker — so this doubles as a columnar-versus-fallback check).
+``check``
+    ``repro check`` on the generated topology must report zero
+    error-severity diagnostics (warnings are legal for random designs).
+
+Any exception inside an oracle is itself a finding (subject ``crash``):
+generated inputs must never crash the framework.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import traceback
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro import presets
+from repro.backends import RunLimits, get_backend
+from repro.backends.packets import drive_stream
+from repro.backends.replay import trace_packets, trace_stream
+from repro.eval.cache import ResultCache, result_to_payload
+from repro.eval.metrics import RunResult
+from repro.eval.parallel import EvalJob, ParallelRunner
+from repro.eval.runner import run_suite, run_workload
+from repro.frontend.config import CoreConfig
+from repro.fuzz.generate import ProgramSpec, TopologyFactory, build_program
+from repro.isa.program import Program
+from repro.workloads.registry import WorkloadSource
+from repro.workloads.traces import capture_trace
+
+#: Predictor spec a case carries: a preset name or a picklable factory.
+PredictorSpec = Union[str, TopologyFactory]
+
+#: Instruction budget for the cycle-backend oracles (the cycle core is an
+#: order of magnitude slower than the trace-driven walkers, so they run a
+#: shorter prefix of the same program).
+CYCLE_BUDGET = 1_500
+
+
+@dataclasses.dataclass(frozen=True)
+class Mismatch:
+    """One oracle disagreement (or crash) on one case."""
+
+    oracle: str
+    subject: str
+    expected: Dict[str, Any]
+    actual: Dict[str, Any]
+    detail: str = ""
+
+    def payload(self) -> Dict[str, Any]:
+        """The identity-bearing part (``detail`` may carry tracebacks)."""
+        return {
+            "oracle": self.oracle,
+            "subject": self.subject,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"[{self.oracle}] {self.subject}:",
+            f"  expected {self.expected}",
+            f"  actual   {self.actual}",
+        ]
+        if self.detail:
+            lines.append(f"  {self.detail}")
+        return "\n".join(lines)
+
+
+@dataclasses.dataclass
+class FuzzCase:
+    """One generated (predictor, workload) input to the oracle battery."""
+
+    case_id: int
+    seed: int
+    label: str
+    predictor_spec: PredictorSpec
+    topology: str
+    program_spec: ProgramSpec
+    max_instructions: int = 4_000
+    #: Authoritative program columns decoded from a reproducer artifact.
+    #: Normally None: the program is rebuilt from ``program_spec``.  Set
+    #: only when a stored artifact's columns no longer match what the
+    #: generators produce (generator drift after the artifact was saved).
+    program_override: Optional[Program] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def is_preset(self) -> bool:
+        return isinstance(self.predictor_spec, str)
+
+    def build_predictor(self):
+        """A power-on-fresh predictor for this case."""
+        if isinstance(self.predictor_spec, str):
+            return presets.build(self.predictor_spec)
+        return self.predictor_spec()
+
+    def program(self) -> Program:
+        if self.program_override is not None:
+            return self.program_override
+        return build_program(self.program_spec)
+
+    def describe(self) -> str:
+        return (
+            f"case {self.case_id} [{self.label}] {self.topology} :: "
+            f"{self.program_spec.describe()} (<= {self.max_instructions} instrs)"
+        )
+
+
+def run_signature(result: RunResult) -> Dict[str, Any]:
+    """The comparable measurement fields of a run."""
+    return {
+        "instructions": result.instructions,
+        "branches": result.branches,
+        "branch_mispredicts": result.branch_mispredicts,
+        "target_mispredicts": result.target_mispredicts,
+        "cycles": result.cycles,
+        "flushes": result.flushes,
+    }
+
+
+def _walk_signature(counts) -> Dict[str, Any]:
+    return {
+        "instructions": counts.instructions,
+        "branches": counts.branches,
+        "branch_mispredicts": counts.mispredicts,
+        "target_mispredicts": 0,
+        "cycles": 0,
+        "flushes": 0,
+    }
+
+
+# ----------------------------------------------------------------------
+# Oracles
+# ----------------------------------------------------------------------
+def oracle_backends(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Trace/replay/columnar/stream bit-identity."""
+    program = case.program()
+    limits = RunLimits(max_instructions=case.max_instructions)
+    live = WorkloadSource(name=program.name, program=program)
+    reference = get_backend("trace").run(case.build_predictor(), live, limits)
+    expected = run_signature(reference)
+    mismatches: List[Mismatch] = []
+
+    # Save/load round trip, then the replay backend (columnar fast path
+    # when the composition is branchless-inert, fallback walker otherwise).
+    trace = capture_trace(program, max_instructions=case.max_instructions)
+    npz = scratch / f"case{case.case_id}.npz"
+    trace.save(npz)
+    stored = WorkloadSource(name=program.name, trace_path=npz)
+    replayed = get_backend("replay").run(case.build_predictor(), stored, limits)
+    if run_signature(replayed) != expected:
+        mismatches.append(
+            Mismatch(
+                "backends",
+                "trace-vs-replay",
+                expected,
+                run_signature(replayed),
+                "stored-trace replay diverged from the trace backend",
+            )
+        )
+
+    # The shared stream walker with the branchless skip enabled, over the
+    # reconstructed record stream (the non-columnar replay path).
+    predictor = case.build_predictor()
+    walked = drive_stream(
+        predictor,
+        trace_stream(trace, case.max_instructions),
+        trace_packets(trace, predictor.config.fetch_width),
+        skip_inert=True,
+    )
+    if _walk_signature(walked) != expected:
+        mismatches.append(
+            Mismatch(
+                "backends",
+                "trace-vs-stream-skip",
+                expected,
+                _walk_signature(walked),
+                "stream walker with branchless skip diverged",
+            )
+        )
+    return mismatches
+
+
+def oracle_parallel(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Serial ``run_suite`` is the reference; ``jobs=2`` must match it."""
+    program = case.program()
+    budget = min(case.max_instructions, CYCLE_BUDGET)
+    # Two systems make two picklable jobs, so the pool genuinely fans out.
+    systems = [(case.label, case.predictor_spec, None), "b2"]
+    programs = {program.name: program}
+    serial = run_suite(systems, programs, max_instructions=budget, jobs=1)
+    fanned = run_suite(systems, programs, max_instructions=budget, jobs=2)
+    mismatches: List[Mismatch] = []
+    for system, rows in serial.items():
+        for workload, result in rows.items():
+            expected = result_to_payload(result)
+            actual = result_to_payload(fanned[system][workload])
+            if actual != expected:
+                mismatches.append(
+                    Mismatch(
+                        "parallel",
+                        f"{system}/{workload}",
+                        run_signature(result),
+                        run_signature(fanned[system][workload]),
+                        "jobs=2 result payload differs from the serial run",
+                    )
+                )
+    return mismatches
+
+
+def oracle_cache(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Cache round trip: computed == cached == fresh uncached."""
+    program = case.program()
+    budget = min(case.max_instructions, CYCLE_BUDGET)
+    job = EvalJob(
+        system=case.label,
+        spec=case.predictor_spec,
+        workload=program.name,
+        program=program,
+        core_config=CoreConfig(),
+        max_instructions=budget,
+        backend="cycle",
+    )
+    cache_dir = scratch / f"cache{case.case_id}"
+    first = ParallelRunner(cache=ResultCache(cache_dir)).run([job])[0]
+    second_cache = ResultCache(cache_dir)
+    second = ParallelRunner(cache=second_cache).run([job])[0]
+    mismatches: List[Mismatch] = []
+    if second_cache.hits != 1:
+        mismatches.append(
+            Mismatch(
+                "cache",
+                "vacuous",
+                {"hits": 1},
+                {"hits": second_cache.hits},
+                "second run did not hit the cache; the oracle tested nothing",
+            )
+        )
+    fresh = ParallelRunner().run([job])[0]
+    for name, result in (("cached", second), ("fresh", fresh)):
+        if result_to_payload(result) != result_to_payload(first):
+            mismatches.append(
+                Mismatch(
+                    "cache",
+                    f"first-vs-{name}",
+                    run_signature(first),
+                    run_signature(result),
+                    f"{name} result payload diverged from the computed run",
+                )
+            )
+    return mismatches
+
+
+def oracle_telemetry(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Attaching a telemetry collector must not change any count."""
+    program = case.program()
+    mismatches: List[Mismatch] = []
+    for backend, budget in (
+        ("cycle", min(case.max_instructions, CYCLE_BUDGET)),
+        ("replay", case.max_instructions),
+    ):
+        bare = run_workload(
+            case.build_predictor(),
+            program,
+            max_instructions=budget,
+            backend=backend,
+            system_name=case.label,
+        )
+        with_telemetry = run_workload(
+            case.build_predictor(),
+            program,
+            max_instructions=budget,
+            backend=backend,
+            system_name=case.label,
+            telemetry=True,
+        )
+        if with_telemetry.telemetry is None:
+            mismatches.append(
+                Mismatch(
+                    "telemetry",
+                    f"{backend}-vacuous",
+                    {"telemetry": "summary"},
+                    {"telemetry": None},
+                    "telemetry run produced no summary; the oracle tested "
+                    "nothing",
+                )
+            )
+        if run_signature(with_telemetry) != run_signature(bare):
+            mismatches.append(
+                Mismatch(
+                    "telemetry",
+                    f"{backend}-attach",
+                    run_signature(bare),
+                    run_signature(with_telemetry),
+                    f"telemetry attach changed {backend} backend counts",
+                )
+            )
+    return mismatches
+
+
+def oracle_check(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Static analysis must report zero error-severity diagnostics."""
+    from repro.analysis.diagnostics import ERROR
+    from repro.analysis.topology_check import check_spec, check_topology
+
+    if case.is_preset:
+        predictor = case.build_predictor()
+        diags = check_topology(
+            predictor.topology, predictor.config, subject=case.label
+        )
+    else:
+        diags = check_spec(case.topology)
+    errors = [d for d in diags if d.severity == ERROR]
+    if not errors:
+        return []
+    return [
+        Mismatch(
+            "check",
+            "topology-errors",
+            {"errors": []},
+            {"errors": [f"{d.code}: {d.message}" for d in errors]},
+            "generated topology fails static analysis",
+        )
+    ]
+
+
+#: Oracle registry, in default execution order.
+ORACLES: Dict[str, Callable[[FuzzCase, Path], List[Mismatch]]] = {
+    "backends": oracle_backends,
+    "parallel": oracle_parallel,
+    "cache": oracle_cache,
+    "telemetry": oracle_telemetry,
+    "check": oracle_check,
+}
+
+DEFAULT_ORACLES = tuple(ORACLES)
+
+
+def run_oracle(name: str, case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Run one oracle; an exception becomes a ``crash`` mismatch."""
+    try:
+        oracle = ORACLES[name]
+    except KeyError:
+        raise KeyError(f"unknown oracle {name!r}; have {sorted(ORACLES)}") from None
+    try:
+        return oracle(case, scratch)
+    except Exception as exc:
+        return [
+            Mismatch(
+                name,
+                "crash",
+                {"outcome": "completes"},
+                {"outcome": f"{type(exc).__name__}: {exc}"},
+                traceback.format_exc(),
+            )
+        ]
+
+
+def run_oracles(
+    names, case: FuzzCase, scratch: Path, stop_on_first: bool = False
+) -> List[Mismatch]:
+    found: List[Mismatch] = []
+    for name in names:
+        found.extend(run_oracle(name, case, scratch))
+        if found and stop_on_first:
+            break
+    return found
+
+
+def failing_oracle(
+    name: str, case: FuzzCase, scratch: Path
+) -> Optional[List[Mismatch]]:
+    """The minimizer's predicate helper: mismatches or None if clean."""
+    found = run_oracle(name, case, scratch)
+    return found or None

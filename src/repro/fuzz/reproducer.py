@@ -1,0 +1,292 @@
+"""Self-contained reproducer artifacts for failing fuzz cases.
+
+A reproducer is one compressed ``.npz`` file that replays a failure with
+no other state: topology spec (or preset name), campaign seed, oracle
+name, the full minimized program as instruction columns, the recorded
+expected/actual mismatch payloads, and — for backend-identity failures —
+the captured schema-2 :class:`~repro.workloads.traces.BranchTrace`
+columns for forensics.
+
+The *program columns* are authoritative, not the program spec: if the
+workload generators later change, the artifact still replays the exact
+instruction sequence that failed.  On load, the spec is rebuilt and
+compared against the stored columns; only when they differ does the case
+fall back to the stored columns (and the loader says so).
+
+``replay_reproducer`` reruns the recorded oracle and classifies the
+outcome: ``clean`` (the failure is fixed), ``reproduced`` (the same
+mismatch payloads), or ``diverged`` (still failing, but differently).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import tempfile
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.fuzz.generate import (
+    TopologyFactory,
+    spec_from_payload,
+    spec_to_payload,
+)
+from repro.fuzz.oracles import FuzzCase, Mismatch, run_oracle
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.workloads.traces import BranchTrace
+
+#: Artifact format version (bump on incompatible layout changes).
+REPRODUCER_FORMAT = 1
+
+#: Sentinel for "no register / no target" in the int64 program columns.
+_NONE = -1
+
+
+# ----------------------------------------------------------------------
+# Program <-> columns
+# ----------------------------------------------------------------------
+def program_to_arrays(program: Program) -> Dict[str, np.ndarray]:
+    """Encode a program as npz-storable columns (opcodes by enum name)."""
+    instrs = program.instructions
+
+    def column(get) -> np.ndarray:
+        return np.asarray(
+            [_NONE if get(i) is None else int(get(i)) for i in instrs],
+            dtype=np.int64,
+        )
+
+    addrs = sorted(program.data)
+    return {
+        "prog_ops": np.asarray([i.op.name for i in instrs]),
+        "prog_rd": column(lambda i: i.rd),
+        "prog_rs1": column(lambda i: i.rs1),
+        "prog_rs2": column(lambda i: i.rs2),
+        "prog_imm": np.asarray([i.imm for i in instrs], dtype=np.int64),
+        "prog_target": column(lambda i: i.target),
+        "prog_data_addrs": np.asarray(addrs, dtype=np.int64),
+        "prog_data_values": np.asarray(
+            [program.data[a] for a in addrs], dtype=np.int64
+        ),
+    }
+
+
+def program_from_arrays(
+    data: Any, name: str, entry: int
+) -> Program:
+    """Decode :func:`program_to_arrays` columns back into a Program."""
+
+    def opt(value: int) -> Optional[int]:
+        return None if value == _NONE else int(value)
+
+    instructions = [
+        Instruction(
+            Opcode[str(op)],
+            rd=opt(rd),
+            rs1=opt(rs1),
+            rs2=opt(rs2),
+            imm=int(imm),
+            target=opt(target),
+        )
+        for op, rd, rs1, rs2, imm, target in zip(
+            data["prog_ops"],
+            data["prog_rd"],
+            data["prog_rs1"],
+            data["prog_rs2"],
+            data["prog_imm"],
+            data["prog_target"],
+        )
+    ]
+    memory = {
+        int(a): int(v)
+        for a, v in zip(data["prog_data_addrs"], data["prog_data_values"])
+    }
+    return Program(instructions, memory, name=name, entry=entry)
+
+
+def _programs_equal(a: Program, b: Program) -> bool:
+    return (
+        a.instructions == b.instructions
+        and a.data == b.data
+        and a.entry == b.entry
+    )
+
+
+# ----------------------------------------------------------------------
+# Save / load
+# ----------------------------------------------------------------------
+def save_reproducer(
+    path: Union[str, Path],
+    case: FuzzCase,
+    oracle: str,
+    mismatches: List[Mismatch],
+    trace: Optional[BranchTrace] = None,
+) -> Path:
+    """Write one self-contained reproducer artifact and return its path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    program = case.program()
+    meta = {
+        "format": REPRODUCER_FORMAT,
+        "oracle": oracle,
+        "case_id": case.case_id,
+        "seed": case.seed,
+        "label": case.label,
+        "topology": case.topology,
+        "predictor": {
+            "kind": "preset" if case.is_preset else "topology",
+            "spec": case.predictor_spec
+            if case.is_preset
+            else case.topology,
+        },
+        "max_instructions": case.max_instructions,
+        "program_spec": spec_to_payload(case.program_spec),
+        "program_name": program.name,
+        "program_entry": program.entry,
+        "mismatches": [m.payload() for m in mismatches],
+    }
+    payload: Dict[str, Any] = {"meta": json.dumps(meta, sort_keys=True)}
+    payload.update(program_to_arrays(program))
+    if trace is not None and trace.replayable:
+        payload.update(
+            trace_pcs=trace.pcs,
+            trace_types=trace.types,
+            trace_taken=trace.taken,
+            trace_targets=trace.targets,
+            trace_instruction_count=np.int64(trace.instruction_count),
+            trace_entry_pc=np.int64(trace.entry_pc),
+            trace_slot_kinds=trace.slot_kinds,
+            trace_slot_targets=trace.slot_targets,
+        )
+    np.savez_compressed(path, **payload)
+    return path
+
+
+@dataclasses.dataclass
+class Reproducer:
+    """A loaded artifact: the case to rerun plus what it recorded."""
+
+    oracle: str
+    case: FuzzCase
+    recorded_mismatches: List[Dict[str, Any]]
+    trace: Optional[BranchTrace]
+    meta: Dict[str, Any]
+    #: True when the stored program columns no longer match what the
+    #: current generators rebuild from the spec (the columns win).
+    generator_drift: bool = False
+
+
+def load_reproducer(path: Union[str, Path]) -> Reproducer:
+    data = np.load(Path(path))
+    meta = json.loads(str(data["meta"][()]))
+    if meta.get("format") != REPRODUCER_FORMAT:
+        raise ValueError(
+            f"unsupported reproducer format {meta.get('format')!r} "
+            f"(this build reads format {REPRODUCER_FORMAT})"
+        )
+    program = program_from_arrays(
+        data, name=meta["program_name"], entry=int(meta["program_entry"])
+    )
+    program_spec = spec_from_payload(meta["program_spec"])
+
+    predictor = meta["predictor"]
+    spec: Union[str, TopologyFactory]
+    if predictor["kind"] == "preset":
+        spec = str(predictor["spec"])
+    else:
+        spec = TopologyFactory(str(predictor["spec"]))
+
+    # The stored columns are authoritative; only fall back to them when the
+    # generators no longer reproduce the program bit-for-bit.
+    from repro.fuzz.generate import build_program
+
+    try:
+        rebuilt = build_program(program_spec)
+        drift = not _programs_equal(rebuilt, program)
+    except Exception:
+        drift = True
+    case = FuzzCase(
+        case_id=int(meta["case_id"]),
+        seed=int(meta["seed"]),
+        label=str(meta["label"]),
+        predictor_spec=spec,
+        topology=str(meta["topology"]),
+        program_spec=program_spec,
+        max_instructions=int(meta["max_instructions"]),
+        program_override=program if drift else None,
+    )
+
+    trace = None
+    if "trace_pcs" in data.files:
+        trace = BranchTrace(
+            pcs=data["trace_pcs"],
+            types=data["trace_types"],
+            taken=data["trace_taken"],
+            targets=data["trace_targets"],
+            instruction_count=int(data["trace_instruction_count"]),
+            entry_pc=int(data["trace_entry_pc"]),
+            slot_kinds=data["trace_slot_kinds"],
+            slot_targets=data["trace_slot_targets"],
+        )
+    return Reproducer(
+        oracle=str(meta["oracle"]),
+        case=case,
+        recorded_mismatches=list(meta["mismatches"]),
+        trace=trace,
+        meta=meta,
+        generator_drift=drift,
+    )
+
+
+# ----------------------------------------------------------------------
+# Replay
+# ----------------------------------------------------------------------
+@dataclasses.dataclass
+class ReplayOutcome:
+    """Result of rerunning a reproducer's oracle."""
+
+    #: ``clean`` (fixed), ``reproduced`` (same payloads), or ``diverged``.
+    status: str
+    mismatches: List[Mismatch]
+    recorded: List[Dict[str, Any]]
+    reproducer: Reproducer
+
+    @property
+    def exit_code(self) -> int:
+        return {"clean": 0, "reproduced": 1, "diverged": 2}[self.status]
+
+
+def replay_reproducer(
+    path: Union[str, Path],
+    scratch: Optional[Path] = None,
+    predictor_factory: Optional[Callable[[], Any]] = None,
+) -> ReplayOutcome:
+    """Rerun a stored failure and classify the outcome.
+
+    ``predictor_factory`` overrides the artifact's predictor — needed when
+    the failing component lives outside the standard library (for example
+    the injected-bug fixture's private registry).
+    """
+    repro = load_reproducer(path)
+    case = repro.case
+    if predictor_factory is not None:
+        case = dataclasses.replace(case, predictor_spec=predictor_factory)
+    if scratch is None:
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+            found = run_oracle(repro.oracle, case, Path(tmp))
+    else:
+        found = run_oracle(repro.oracle, case, Path(scratch))
+    if not found:
+        status = "clean"
+    elif [m.payload() for m in found] == repro.recorded_mismatches:
+        status = "reproduced"
+    else:
+        status = "diverged"
+    return ReplayOutcome(
+        status=status,
+        mismatches=found,
+        recorded=repro.recorded_mismatches,
+        reproducer=repro,
+    )

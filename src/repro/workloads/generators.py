@@ -30,7 +30,7 @@ string_ops        small copy/compare loops (Dhrystone flavour)
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -513,6 +513,50 @@ class WorkloadBuilder:
         b.blt(11, 12, "main_loop")
         b.halt()
         return b.build()
+
+
+#: Name -> emitter registry over every kernel above.  The differential
+#: fuzzer (:mod:`repro.fuzz`) composes random workloads from this table and
+#: shrinks failing ones by deleting entries from a kernel-spec list, so the
+#: registry is the unit of both generation and minimization.
+KERNEL_EMITTERS: Dict[str, Callable[..., str]] = {
+    "stream": emit_stream,
+    "data_branches": emit_data_branches,
+    "lcg_branches": emit_lcg_branches,
+    "correlated": emit_correlated,
+    "nested_loops": emit_nested_loops,
+    "linked_list": emit_linked_list,
+    "switch": emit_switch,
+    "recursive": emit_recursive,
+    "dense_branches": emit_dense_branches,
+    "hammock": emit_hammock,
+    "string_ops": emit_string_ops,
+}
+
+
+def assemble_workload(
+    name: str,
+    seed: int,
+    kernels: Sequence[Tuple[str, Mapping[str, object]]],
+    outer_iterations: int = 4,
+) -> Program:
+    """Build a program from declarative ``(kernel_name, params)`` specs.
+
+    The same spec list with the same ``seed`` always produces a bit-identical
+    program (the kernels draw their data from one seeded RandomState in
+    order), which is what makes fuzz cases replayable and shrinkable: the
+    fuzzer mutates the spec list, never the emitted instructions.
+    """
+    builder = WorkloadBuilder(name, seed=seed)
+    for kernel_name, params in kernels:
+        try:
+            emit = KERNEL_EMITTERS[kernel_name]
+        except KeyError:
+            raise KeyError(
+                f"unknown kernel {kernel_name!r}; have {sorted(KERNEL_EMITTERS)}"
+            ) from None
+        builder.add(emit, **dict(params))
+    return builder.build(outer_iterations)
 
 
 def estimate_dynamic_length(program: Program, cap: int = 5_000_000) -> int:

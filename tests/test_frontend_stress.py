@@ -8,7 +8,7 @@ cost cycles.
 
 import pytest
 
-from repro import presets
+from repro import compose, presets
 from repro.frontend import Core, CoreConfig
 from repro.frontend.config import ICacheConfig
 from repro.isa import ProgramBuilder, RA, SP, run_program
@@ -154,6 +154,26 @@ class TestMixedControlFlow:
         b.blt(1, 2, "spin")
         b.halt()
         run_exact(b.build(), "b2")
+
+
+class TestSingleStagePipelines:
+    """Depth-1 compositions (every component latency 1) are a special case:
+    there is no later pipeline stage to override the fetched path, so fetch
+    must follow the pre-decode-corrected final prediction directly.
+
+    Regression for a fuzzer-found crash: a raw stage-1 BTB alias hit on a
+    non-CFI slot steered fetch down a path the ROB never learned about, and
+    a wrong-path instruction reached commit (found by ``repro fuzz run
+    --seed 0``, iteration 24, topology ``BTB1 > UBTB1``).
+    """
+
+    @pytest.mark.parametrize("topology", ["BTB1", "UBTB1", "BTB1 > UBTB1"])
+    def test_depth_one_architecturally_exact(self, topology):
+        program = mixed_control_program(rounds=2)
+        expected = len(run_program(program))
+        predictor = compose(topology)
+        stats = Core(program, predictor, CoreConfig()).run(max_cycles=500_000)
+        assert stats.committed_instructions == expected
 
 
 class TestConfigMatrix:

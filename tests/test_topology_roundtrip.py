@@ -3,7 +3,10 @@
 The paper notation emitted by :meth:`TopologyNode.describe` must parse
 back to a structurally equivalent tree — same node kinds, same component
 base names, same latencies — for every shipped preset and for a seeded
-population of randomized topologies.
+population of randomized topologies.  The random population comes from
+the differential fuzzer's generator (:mod:`repro.fuzz.generate`), so the
+round-trip property and the fuzz campaigns exercise the same topology
+distribution.
 """
 
 import random
@@ -14,11 +17,7 @@ from repro import presets
 from repro.components.library import standard_library
 from repro.core.parser import parse_topology
 from repro.core.topology import Arbitrate, Leaf, Override
-
-#: Components that read a history register need latency >= 2 (Fig. 2).
-_HISTORY_BASES = ("GSHARE", "GBIM", "LBIM", "PSHARE", "GSELECT", "GTAG", "TAGE")
-#: PC-only components may respond in a single cycle.
-_FAST_BASES = ("BIM", "BTB", "UBTB")
+from repro.fuzz.generate import random_topology_spec
 
 
 def equivalent(a, b):
@@ -43,25 +42,6 @@ def equivalent(a, b):
     return lhs.base_name == rhs.base_name and lhs.latency == rhs.latency
 
 
-def random_spec(rng, depth=0):
-    """A random well-formed topology spec in paper notation."""
-
-    def unit():
-        if rng.random() < 0.4:
-            return f"{rng.choice(_FAST_BASES)}{rng.randint(1, 4)}"
-        return f"{rng.choice(_HISTORY_BASES)}{rng.randint(2, 4)}"
-
-    roll = rng.random()
-    if depth < 2 and roll < 0.25:
-        # TOURNEY takes exactly two predict_in inputs, so exactly two
-        # children; it must be at least as slow as what it arbitrates.
-        children = ", ".join(random_spec(rng, depth + 1) for _ in range(2))
-        return f"TOURNEY{rng.randint(2, 4)} > [{children}]"
-    if depth < 3 and roll < 0.75:
-        return f"{unit()} > {random_spec(rng, depth + 1)}"
-    return unit()
-
-
 class TestPresetRoundTrip:
     @pytest.mark.parametrize("name", presets.PRESET_NAMES)
     def test_preset_describe_reparses_equivalently(self, name):
@@ -77,7 +57,7 @@ class TestRandomizedRoundTrip:
     def test_random_topologies_round_trip(self, seed):
         rng = random.Random(0xC0B7A ^ seed)
         library = standard_library()
-        spec = random_spec(rng)
+        spec = random_topology_spec(rng)
         node = parse_topology(spec, library)
         notation = node.describe()
         reparsed = parse_topology(notation, standard_library())
