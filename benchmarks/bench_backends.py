@@ -20,21 +20,35 @@ differs:
    test.  Here the trace backend queries the predictor once per fetched
    instruction while replay queries once per branch record, which is
    exactly the CBP-style replay win.
-2. **Realistic payload** (context, no assert): the default width-4
-   ``tage_l`` preset, where the composed predictor's own Python cost
-   dominates both backends equally and the speedup is bounded by the
-   share of packets containing a branch (see docs/performance.md).
+2. **Realistic payload**: the default width-4 ``tage_l`` preset.  The
+   ``replay`` backend takes the columnar batch-kernel path here
+   (``repro.kernels``); a ``replay-scalar`` column drives the same
+   columnar walker with the segment engine disabled, so the table
+   separates the kernels' contribution from the record-skipping win.
+   The asserted criterion on this table:
+
+    kernel replay throughput >= 2x trace throughput (branches/sec)
+    over the tage_l fetch_width=4 micro suite.
+
+   (The original 10x ambition is not reachable while mispredict repair
+   and stale no-replay history windows stay on the scalar path by
+   design; see docs/performance.md for the floor analysis.)
 
 Predictors are constructed outside the timed region; npz load time is
-charged to the replay column (the real workflow cost).
+charged to the replay columns (the real workflow cost).
 
 Run directly (``python benchmarks/bench_backends.py [--quick]``) or via
-pytest.
+pytest.  ``--json PATH`` additionally writes the machine-readable
+results; a plain full run refreshes both committed artifacts
+(``results/backends.txt`` and ``results/backends.json``).
+``--kernels-smoke`` runs only the tage_l trace-vs-kernels comparison
+with the 2x assert — the CI gate.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import tempfile
 import time
@@ -64,6 +78,11 @@ LIGHT_SPEC = "BIM2"
 LIGHT_WIDTH = 1
 #: Payload for the realistic context table.
 CONTEXT_PRESET = "tage_l"
+#: Asserted floor for batch-kernel replay vs trace on the tage_l table
+#: (full run and ``--kernels-smoke``).  Measured headroom is ~2.6x; the
+#: scalar-by-design mispredict/stale-window floor rules out the 10x that
+#: the light table's record-skipping enjoys (docs/performance.md).
+KERNEL_FLOOR = 2.0
 
 
 def build_light():
@@ -76,12 +95,24 @@ def build_light():
     return compose(LIGHT_SPEC, library, config)
 
 
+def _run_replay_scalar(predictor, source, limits):
+    """The columnar walker with the batch-kernel segment engine disabled."""
+    from repro.backends.replay import drive_columns, trace_packets
+
+    branch_trace = source.branch_trace(limits.max_instructions)
+    packets = trace_packets(branch_trace, predictor.config.fetch_width)
+    return drive_columns(
+        predictor, branch_trace, packets, limits.max_instructions, engine=None
+    )
+
+
 def _measure(workloads, build_predictor, backends, tmp):
     """One table: run every workload through every backend.
 
     Returns ``(rows, totals, total_branches)`` where each row is
-    ``(name, branches, mispredicts, {backend: seconds})``.  Asserts
-    trace/replay bit-identity per cell.
+    ``(name, branches, mispredicts, {backend: seconds})``.  Asserts that
+    every trace-driven backend reproduces the trace backend's counts bit
+    for bit per cell (``cycle`` is exempt by design, §II-B).
     """
     limits = RunLimits(max_instructions=BUDGET)
     rows = []
@@ -95,65 +126,114 @@ def _measure(workloads, build_predictor, backends, tmp):
         live = WorkloadSource(name=name, program=program)
         stored = WorkloadSource(name=name, trace_path=npz)
 
-        results = {}
+        sig = {}
         cell = {}
         for backend in backends:
-            source = stored if backend == "replay" else live
             predictor = build_predictor()
-            t0 = time.perf_counter()
-            results[backend] = get_backend(backend).run(
-                predictor, source, limits
-            )
+            if backend == "replay-scalar":
+                t0 = time.perf_counter()
+                counts = _run_replay_scalar(predictor, stored, limits)
+                sig[backend] = (
+                    counts.branches,
+                    counts.mispredicts,
+                    counts.instructions,
+                )
+            else:
+                source = stored if backend == "replay" else live
+                t0 = time.perf_counter()
+                result = get_backend(backend).run(predictor, source, limits)
+                sig[backend] = (
+                    result.branches,
+                    result.branch_mispredicts,
+                    result.instructions,
+                )
             cell[backend] = time.perf_counter() - t0
             totals[backend] += cell[backend]
 
-        t, r = results["trace"], results["replay"]
-        assert (t.branches, t.branch_mispredicts, t.instructions) == (
-            r.branches,
-            r.branch_mispredicts,
-            r.instructions,
-        ), f"replay diverged from trace on {name}"
-        total_branches += t.branches
-        rows.append((name, t.branches, t.branch_mispredicts, cell))
+        for backend in backends:
+            if backend in ("trace", "cycle"):
+                continue
+            assert sig[backend] == sig["trace"], (
+                f"{backend} diverged from trace on {name}: "
+                f"{sig[backend]} != {sig['trace']}"
+            )
+        branches, mispredicts, _ = sig["trace"]
+        total_branches += branches
+        rows.append((name, branches, mispredicts, cell))
     return rows, totals, total_branches
 
 
 def _table(title, rows, totals, total_branches, backends):
     lines = [title, "-" * 72]
+    widths = {b: max(9, len(b) + 2) for b in backends}
     header = f"{'workload':16s} {'branches':>9s} {'mispred':>8s}"
     for backend in backends:
-        header += f" {backend + ' s':>9s}"
+        header += f" {backend + ' s':>{widths[backend]}s}"
     header += f" {'speedup':>8s}"
     lines.append(header)
     for name, branches, mispredicts, cell in rows:
         line = f"{name:16s} {branches:9d} {mispredicts:8d}"
         for backend in backends:
-            line += f" {cell[backend]:9.2f}"
+            line += f" {cell[backend]:{widths[backend]}.2f}"
         line += f" {cell['trace'] / cell['replay']:7.2f}x"
         lines.append(line)
     lines.append("")
     lines.append(
-        f"{'backend':10s} {'wall (s)':>9s} {'branches/sec':>13s} {'vs trace':>9s}"
+        f"{'backend':14s} {'wall (s)':>9s} {'branches/sec':>13s} {'vs trace':>9s}"
     )
     trace_bps = total_branches / totals["trace"]
     for backend in backends:
         bps = total_branches / totals[backend]
         lines.append(
-            f"{backend:10s} {totals[backend]:9.2f} {bps:13,.0f} "
+            f"{backend:14s} {totals[backend]:9.2f} {bps:13,.0f} "
             f"{bps / trace_bps:8.2f}x"
         )
     lines.append("")
     return lines
 
 
-def run_benchmark(quick: bool = False) -> str:
+def _rows_payload(rows, backends):
+    return [
+        {
+            "workload": name,
+            "branches": branches,
+            "mispredicts": mispredicts,
+            "seconds": {b: round(cell[b], 4) for b in backends},
+        }
+        for name, branches, mispredicts, cell in rows
+    ]
+
+
+def _table_payload(rows, totals, total_branches, backends):
+    return {
+        "backends": list(backends),
+        "rows": _rows_payload(rows, backends),
+        "total_seconds": {b: round(totals[b], 4) for b in backends},
+        "total_branches": total_branches,
+        "branches_per_second": {
+            b: round(total_branches / totals[b], 1) for b in backends
+        },
+    }
+
+
+def run_benchmark(quick: bool = False):
+    """Returns ``(text, data)``: the printable tables + the JSON payload."""
     workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
     lines = [
         f"suite: {len(workloads)} micro workloads, scale={SCALE}, "
         f"max_instructions={BUDGET}",
-        "trace/replay counts bit-identical on every cell: asserted",
+        "trace-driven backend counts bit-identical on every cell: asserted",
         "",
     ]
+    data = {
+        "suite": {
+            "workloads": list(workloads),
+            "scale": SCALE,
+            "max_instructions": BUDGET,
+            "quick": quick,
+        },
+        "tables": {},
+    }
     with tempfile.TemporaryDirectory() as tmp:
         rows, totals, branches = _measure(
             workloads, build_light, ("trace", "replay"), tmp
@@ -172,29 +252,99 @@ def run_benchmark(quick: bool = False) -> str:
             f"(target >= 3x on the full suite)"
         )
         lines.append("")
+        light = _table_payload(rows, totals, branches, ("trace", "replay"))
+        light["payload"] = LIGHT_SPEC
+        light["fetch_width"] = LIGHT_WIDTH
+        light["speedup_replay_vs_trace"] = round(speedup, 3)
+        data["tables"]["light"] = light
 
+        kernel_speedup = None
         if not quick:
+            cbackends = ("cycle", "trace", "replay-scalar", "replay")
             rows, ctotals, cbranches = _measure(
                 workloads,
                 lambda: presets.build(CONTEXT_PRESET),
-                ("cycle", "trace", "replay"),
+                cbackends,
                 tmp,
             )
             lines += _table(
                 f"realistic payload: preset {CONTEXT_PRESET}, fetch_width=4 "
-                f"(context; speedup is bounded by the predictor's own cost)",
+                f"(replay = columnar batch kernels, replay-scalar = "
+                f"kernels disabled)",
                 rows,
                 ctotals,
                 cbranches,
-                ("cycle", "trace", "replay"),
+                cbackends,
             )
+            kernel_speedup = ctotals["trace"] / ctotals["replay"]
+            kernel_vs_scalar = ctotals["replay-scalar"] / ctotals["replay"]
+            lines.append(
+                f"batch kernels vs trace: {kernel_speedup:.2f}x branches/sec "
+                f"(floor >= {KERNEL_FLOOR:.0f}x); vs scalar columnar walk: "
+                f"{kernel_vs_scalar:.2f}x"
+            )
+            lines.append("")
+            context = _table_payload(rows, ctotals, cbranches, cbackends)
+            context["payload"] = CONTEXT_PRESET
+            context["fetch_width"] = 4
+            context["speedup_kernels_vs_trace"] = round(kernel_speedup, 3)
+            context["speedup_kernels_vs_scalar"] = round(kernel_vs_scalar, 3)
+            data["tables"]["context"] = context
     if not quick:
         assert speedup >= 3.0, f"replay speedup {speedup:.2f}x < 3x"
-    return "\n".join(lines)
+        assert kernel_speedup >= KERNEL_FLOOR, (
+            f"batch-kernel replay {kernel_speedup:.2f}x < {KERNEL_FLOOR}x "
+            f"vs trace on {CONTEXT_PRESET}"
+        )
+    return "\n".join(lines), data
+
+
+def run_kernels_smoke():
+    """CI gate: tage_l trace vs batch-kernel replay, with the floor assert."""
+    lines = [
+        f"kernels smoke: preset {CONTEXT_PRESET}, fetch_width=4, "
+        f"scale={SCALE}, max_instructions={BUDGET}",
+        "trace/replay counts bit-identical on every cell: asserted",
+        "",
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        rows, totals, branches = _measure(
+            FULL_WORKLOADS,
+            lambda: presets.build(CONTEXT_PRESET),
+            ("trace", "replay"),
+            tmp,
+        )
+    lines += _table(
+        "batch-kernel replay vs trace",
+        rows,
+        totals,
+        branches,
+        ("trace", "replay"),
+    )
+    speedup = totals["trace"] / totals["replay"]
+    lines.append(
+        f"batch kernels vs trace: {speedup:.2f}x branches/sec "
+        f"(floor >= {KERNEL_FLOOR:.0f}x)"
+    )
+    table = _table_payload(rows, totals, branches, ("trace", "replay"))
+    table["payload"] = CONTEXT_PRESET
+    table["fetch_width"] = 4
+    table["speedup_kernels_vs_trace"] = round(speedup, 3)
+    data = {
+        "suite": {
+            "workloads": list(FULL_WORKLOADS),
+            "scale": SCALE,
+            "max_instructions": BUDGET,
+            "quick": False,
+        },
+        "tables": {"kernels_smoke": table},
+    }
+    return "\n".join(lines), data, speedup
 
 
 def test_backends(report):
-    report("backends", run_benchmark(quick=False))
+    text, _data = run_benchmark(quick=False)
+    report("backends", text)
 
 
 def main() -> int:
@@ -202,17 +352,43 @@ def main() -> int:
     parser.add_argument(
         "--quick",
         action="store_true",
-        help="small suite, no 3x acceptance assert (CI smoke)",
+        help="small suite, no acceptance asserts (CI smoke)",
+    )
+    parser.add_argument(
+        "--kernels-smoke",
+        action="store_true",
+        help=f"tage_l trace-vs-kernels only, asserts >= {KERNEL_FLOOR}x "
+        f"(CI gate)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="also write the machine-readable results to PATH",
     )
     parser.add_argument(
         "--no-write", action="store_true", help="print only, skip results/"
     )
     args = parser.parse_args()
-    text = run_benchmark(quick=args.quick)
+    if args.kernels_smoke:
+        text, data, speedup = run_kernels_smoke()
+        print(text)
+        if args.json:
+            Path(args.json).write_text(json.dumps(data, indent=2) + "\n")
+        assert speedup >= KERNEL_FLOOR, (
+            f"batch-kernel replay {speedup:.2f}x < {KERNEL_FLOOR}x vs trace "
+            f"on {CONTEXT_PRESET}"
+        )
+        return 0
+    text, data = run_benchmark(quick=args.quick)
     print(text)
+    if args.json:
+        Path(args.json).write_text(json.dumps(data, indent=2) + "\n")
     if not args.quick and not args.no_write:
         RESULTS_DIR.mkdir(exist_ok=True)
         (RESULTS_DIR / "backends.txt").write_text(text + "\n")
+        (RESULTS_DIR / "backends.json").write_text(
+            json.dumps(data, indent=2) + "\n"
+        )
     return 0
 
 

@@ -19,6 +19,7 @@ CON005  fire followed by on_repair does not round-trip state
 CON006  storage() breakdown does not sum to declared totals
 CON007  same seed, different behavior (non-determinism)
 CON008  branchless packet changes state despite branchless_inert
+CON009  columnar kernel lookup diverges from the scalar lookup
 ======  ========================================================
 
 CON008 guards the replay backend's fast path: packets with no control-flow
@@ -27,6 +28,13 @@ only exact if lookup + fire + on_update on such a packet leave the
 component's state untouched.  Components that do learn on branchless
 packets must override ``branchless_inert = False`` (the composed predictor
 then disables the skip).
+
+CON009 guards the batch-kernel fast path the same way: a component that
+advertises a ``columnar_kernel`` promises the kernel's batched ``lookup``
+reproduces the scalar ``lookup`` slot for slot against the same frozen
+tables.  The check sweeps a seeded batch of random packets (random fetch
+PCs, global histories, and input vectors) through both paths on the
+stimulus-warmed instance and compares every produced slot.
 
 Determinism and reset are checked with *state fingerprints*: a canonical
 hash over the component's full object graph (numpy arrays by dtype, shape
@@ -450,6 +458,56 @@ def check_component(
                     f"skip this packet — override branchless_inert = False",
                 )
                 break
+
+    # CON009: a component advertising a columnar kernel promises the
+    # kernel's batched lookup matches the scalar lookup slot for slot
+    # against the same frozen tables.  The sweep runs on the
+    # stimulus-warmed ``replay`` instance (same rationale as CON008: cover
+    # populated tables, not just power-on zeros); the kernel batch runs
+    # first so both paths read the identical table snapshot.
+    kernel = replay.columnar_kernel()
+    if kernel is not None and replay.n_inputs == 1:
+        from repro.kernels.engine import (
+            state_from_vectors,
+            state_matches_vector,
+            stimulus_context,
+        )
+
+        rng = random.Random(seed ^ 0xC9)
+        reqs = []
+        vectors = []
+        for _ in range(16):
+            req, inputs = _stimulus(rng, 1)
+            reqs.append(req)
+            vectors.append(inputs[0])
+        ctx = stimulus_context(
+            [r.fetch_pc for r in reqs], [r.ghist for r in reqs], _FETCH_WIDTH
+        )
+        batch = state_from_vectors(vectors, ctx)
+        try:
+            batch = kernel.lookup(ctx, batch)
+        except Exception as exc:
+            report.report(
+                "CON009",
+                f"columnar kernel lookup raised on the stimulus sweep: "
+                f"{type(exc).__name__}: {exc}",
+            )
+            batch = None
+        if batch is not None:
+            for p, (req, vector) in enumerate(zip(reqs, vectors)):
+                out, _meta = replay.lookup(req, [vector.copy()])
+                ok, why = state_matches_vector(
+                    batch, p, int(ctx.offset[p]), out
+                )
+                if not ok:
+                    report.report(
+                        "CON009",
+                        f"packet {p} (fetch_pc {req.fetch_pc:#x}): columnar "
+                        f"kernel lookup diverged from the scalar lookup — "
+                        f"{why}; the batch-kernel replay path would predict "
+                        f"differently than the scalar walker",
+                    )
+                    break
 
     # CON003: if the component can be built at latency 1, its output must
     # not depend on any history field — histories only arrive at the end of

@@ -38,6 +38,7 @@ RULES: Dict[str, tuple] = {
     "CON006": (ERROR, "storage() breakdown does not sum to declared totals"),
     "CON007": (ERROR, "component is not deterministic under a fixed seed"),
     "CON008": (ERROR, "branchless packet changes state despite branchless_inert"),
+    "CON009": (ERROR, "columnar kernel lookup diverges from the scalar lookup"),
     # Source lints (repro.analysis.lints)
     "RPR001": (ERROR, "unseeded RNG or wall-clock use in deterministic code"),
     "RPR002": (ERROR, "mutable default argument"),

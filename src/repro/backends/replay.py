@@ -68,6 +68,23 @@ from repro.workloads.traces import (
 #: out of the walk loop without materializing huge traces at once.
 _CHUNK = 1 << 16
 
+#: Adaptive segment-engine window (branch records per vectorized attempt).
+#: The next window tracks twice the last acceptance — full acceptance
+#: doubles the window, early cuts shrink it toward the cut distance — so
+#: mispredict-dense regions pay for narrow evaluations only.
+_WINDOW_START = 256
+_WINDOW_MIN = 8
+_WINDOW_MAX = 4096
+#: Walked packets forced through the scalar path after the engine accepts
+#: nothing, amortizing failed vectorized attempts in impure regions.
+_SCALAR_QUOTA = 8
+#: Engine disengagement: when the decayed average acceptance per attempt
+#: drops below the engine's ``engage_min`` (a per-composition break-even
+#: scaled by kernel count), a vectorized attempt costs more than walking
+#: its yield through the scalar path, so the driver walks
+#: ``_DISENGAGE_QUOTA`` packets scalar between probes instead.
+_DISENGAGE_QUOTA = 24
+
 
 def trace_stream(
     trace: BranchTrace, max_instructions: Optional[int] = None
@@ -162,6 +179,7 @@ def drive_columns(
     trace: BranchTrace,
     packets: PacketCache,
     max_instructions: Optional[int] = None,
+    engine=None,
 ) -> WalkCounts:
     """Drive ``predictor`` straight off the branch columns of ``trace``.
 
@@ -177,7 +195,18 @@ def drive_columns(
     predict/resolve/commit protocol, replicating ``drive_stream``'s walk
     record for record.  Callers must check ``branchless_inert`` and that
     no telemetry collector is attached before using this walker.
+
+    With a :class:`~repro.kernels.engine.SegmentEngine` (built by
+    :func:`repro.kernels.engine.engine_for` when every component
+    advertises a ``columnar_kernel``), branchy packets are additionally
+    batch-predicted in vectorized segments between mispredicts; the
+    scalar loop here remains the fallback inside impure regions and
+    stale-history windows.
     """
+    if engine is not None:
+        return _drive_columns_kernels(
+            predictor, trace, packets, engine, max_instructions
+        )
     total = trace.instruction_count
     n = total if max_instructions is None else min(total, max_instructions)
     width = packets.fetch_width
@@ -279,6 +308,176 @@ def drive_columns(
     return WalkCounts(instructions, branches, mispredicts)
 
 
+def _drive_columns_kernels(
+    predictor: ComposedPredictor,
+    trace: BranchTrace,
+    packets: PacketCache,
+    engine,
+    max_instructions: Optional[int] = None,
+) -> WalkCounts:
+    """:func:`drive_columns` with vectorized pure-packet segments.
+
+    Identical walk semantics, with one addition: whenever the scalar loop
+    is about to fetch a branchy packet, the segment engine first tries to
+    batch-predict a window of upcoming branch records against the frozen
+    tables and commit the maximal pure prefix in one step
+    (:meth:`~repro.kernels.engine.SegmentEngine.run`).  The scalar body
+    then resumes at the first impure packet — the mispredicting or
+    state-writing one — so resolve/repair ordering is untouched.  Stale
+    no-replay history windows disable the engine (and the arithmetic
+    skip) until they drain, exactly like the scalar walker.
+    """
+    from repro.kernels.engine import TraceColumns
+
+    total = trace.instruction_count
+    n = total if max_instructions is None else min(total, max_instructions)
+    width = packets.fetch_width
+    packet = packets.packet
+    predict = predictor.predict
+    commit = predictor.commit_packet
+    resolve = predictor.resolve_mispredict
+
+    cols = TraceColumns.from_trace(trace)
+    n_br = cols.n_records
+
+    b_pcs: list = []
+    b_conds: list = []
+    b_takens: list = []
+    b_targets: list = []
+    chunk_start = 0
+
+    def load_chunk(start: int) -> None:
+        nonlocal chunk_start, b_pcs, b_conds, b_takens, b_targets
+        chunk_start = start
+        end = min(start + _CHUNK, n_br)
+        b_pcs = cols.pcs[start:end].tolist()
+        b_conds = (cols.types[start:end] == TYPE_COND).tolist()
+        b_takens = cols.taken[start:end].tolist()
+        b_targets = cols.targets[start:end].tolist()
+
+    bi = 0
+    if n_br:
+        load_chunk(0)
+    next_branch = b_pcs[0] if n_br else None
+
+    instructions = 0
+    branches = 0
+    mispredicts = 0
+    pc = trace.entry_pc
+    window = _WINDOW_START
+    scalar_quota = 0
+    accept_avg = float(_WINDOW_START)
+    probe_backoff = 1
+    engage_min = engine.engage_min
+    while instructions < n:
+        if (
+            scalar_quota == 0
+            and bi < n_br
+            and not predictor.stale_window_active
+        ):
+            k = min(window, n_br - bi)
+            seg = engine.run(cols, pc, bi, k, n - instructions)
+            accept_avg = 0.5 * accept_avg + 0.5 * seg.records
+            if seg.packets:
+                instructions += seg.instructions
+                branches += seg.branches
+                bi += seg.records
+                pc = seg.next_pc
+                window = min(max(2 * seg.records, _WINDOW_MIN), _WINDOW_MAX)
+                if bi < n_br:
+                    if bi - chunk_start >= len(b_pcs):
+                        load_chunk(bi - bi % _CHUNK)
+                    next_branch = b_pcs[bi - chunk_start]
+                else:
+                    next_branch = None
+                if accept_avg < engage_min:
+                    # Mispredict-dense region: segments are too short to
+                    # amortize attempts; walk scalar between probes,
+                    # backing off while the region stays dense.
+                    scalar_quota = _DISENGAGE_QUOTA * probe_backoff
+                    probe_backoff = min(probe_backoff * 2, 8)
+                elif seg.impure_next:
+                    # The next packet is known to mispredict or write
+                    # state: walk exactly it scalar, then retry.
+                    probe_backoff = 1
+                    scalar_quota = 1
+                else:
+                    probe_backoff = 1
+                    continue
+            elif accept_avg < engage_min:
+                scalar_quota = _DISENGAGE_QUOTA * probe_backoff
+                probe_backoff = min(probe_backoff * 2, 8)
+            elif seg.impure_next:
+                scalar_quota = 1
+            else:
+                # Nothing pure up front for window-shape reasons: walk
+                # scalar for a while before the next (costly) attempt.
+                window = max(window // 2, _WINDOW_MIN)
+                scalar_quota = _SCALAR_QUOTA
+
+        fetch_pc = pc
+        span = width - (fetch_pc % width)
+        gap = n if next_branch is None else next_branch - fetch_pc
+        if gap >= span and not predictor.stale_window_active:
+            if instructions + span <= n:
+                instructions += span
+                pc = fetch_pc + span
+            else:
+                instructions = n
+            continue
+
+        if scalar_quota:
+            scalar_quota -= 1
+        slots, _has_cfi = packet(fetch_pc)
+        result = predict(fetch_pc, slots, None)
+        final_slots = result.final.slots
+        mispredict_info = None
+        consumed = 0
+        while True:
+            if next_branch == pc:
+                ci = bi - chunk_start
+                next_pc = b_targets[ci]
+                is_cond = b_conds[ci]
+                taken = b_takens[ci]
+                bi += 1
+                if bi < n_br:
+                    if bi - chunk_start >= len(b_pcs):
+                        load_chunk(bi)
+                    next_branch = b_pcs[bi - chunk_start]
+                else:
+                    next_branch = None
+            else:
+                next_pc = pc + 1
+                is_cond = False
+                taken = False
+            slot_idx = consumed
+            instructions += 1
+            if is_cond:
+                branches += 1
+                if final_slots[slot_idx].taken != taken:
+                    mispredicts += 1
+                    if mispredict_info is None:
+                        mispredict_info = (
+                            slot_idx,
+                            taken,
+                            next_pc if taken else None,
+                        )
+            consumed += 1
+            ends_packet = (
+                next_pc != pc + 1
+                or consumed >= span
+                or (mispredict_info is not None and result.cut == slot_idx)
+            )
+            pc = next_pc
+            if ends_packet or instructions >= n:
+                break
+        if mispredict_info is not None:
+            slot_idx, taken, target = mispredict_info
+            resolve(result.ftq_id, slot_idx, taken, target)
+        commit(result.ftq_id)
+    return WalkCounts(instructions, branches, mispredicts)
+
+
 class ReplayBackend(ExecutionBackend):
     name = "replay"
 
@@ -296,8 +495,14 @@ class ReplayBackend(ExecutionBackend):
         try:
             packets = trace_packets(branch_trace, predictor.config.fetch_width)
             if predictor.branchless_inert and predictor.telemetry is None:
+                from repro.kernels.engine import engine_for
+
                 counts = drive_columns(
-                    predictor, branch_trace, packets, limits.max_instructions
+                    predictor,
+                    branch_trace,
+                    packets,
+                    limits.max_instructions,
+                    engine=engine_for(predictor),
                 )
             else:
                 counts = drive_stream(

@@ -136,6 +136,15 @@ class HBIM(PredictorComponent):
     def reset(self) -> None:
         self._table.fill(self._weak_nt)
 
+    def columnar_kernel(self):
+        # Local- and path-history schemes read providers the columnar
+        # engine does not model; they stay on the scalar path.
+        if self._scheme.scheme not in ("pc", "ghist", "gshare", "gselect"):
+            return None
+        from repro.kernels.components import HBIMKernel
+
+        return HBIMKernel(self)
+
     # Exposed for tests.
     def counter_at(self, index: int, lane: int) -> int:
         return int(self._table[index, lane])

@@ -160,6 +160,11 @@ class BTB(PredictorComponent):
         self._targets.fill(0)
         self._replace_ptr.fill(0)
 
+    def columnar_kernel(self):
+        from repro.kernels.components import BTBKernel
+
+        return BTBKernel(self)
+
 
 class MicroBTB(PredictorComponent):
     """Small fully-associative single-cycle BTB (uBTB).
@@ -298,3 +303,8 @@ class MicroBTB(PredictorComponent):
         self._targets.fill(0)
         self._ctrs.fill(0)
         self._alloc_ptr = 0
+
+    def columnar_kernel(self):
+        from repro.kernels.components import MicroBTBKernel
+
+        return MicroBTBKernel(self)

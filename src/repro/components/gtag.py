@@ -138,3 +138,8 @@ class GTag(PredictorComponent):
         self._valid.fill(False)
         self._tags.fill(0)
         self._ctrs.fill(self._weak_nt)
+
+    def columnar_kernel(self):
+        from repro.kernels.components import GTagKernel
+
+        return GTagKernel(self)

@@ -236,3 +236,8 @@ class LoopPredictor(PredictorComponent):
         self._commit_iter.fill(0)
         self._trip.fill(0)
         self._zero_streak.fill(0)
+
+    def columnar_kernel(self):
+        from repro.kernels.components import LoopKernel
+
+        return LoopKernel(self)

@@ -368,3 +368,8 @@ class TAGE(PredictorComponent):
         self._lfsr = _Lfsr()
         self._use_alt_on_na = 8
         self._update_count = 0
+
+    def columnar_kernel(self):
+        from repro.kernels.components import TAGEKernel
+
+        return TAGEKernel(self)

@@ -217,3 +217,12 @@ class TwoLevel(PredictorComponent):
     def reset(self) -> None:
         self._l1.fill(0)
         self._l2.fill(self._weak_nt)
+
+    def columnar_kernel(self):
+        # P variants speculatively advance per-branch level-1 registers at
+        # fire time on every candidate packet; they stay scalar.
+        if not self.variant.startswith("G"):
+            return None
+        from repro.kernels.components import TwoLevelKernel
+
+        return TwoLevelKernel(self)

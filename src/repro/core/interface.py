@@ -198,6 +198,21 @@ class PredictorComponent(abc.ABC):
     def reset(self) -> None:
         """Return all predictor state to power-on values."""
 
+    def columnar_kernel(self):
+        """Batch-prediction capability (rule CON009).
+
+        A component that can reproduce its scalar ``lookup`` with a
+        vectorized pass over trace columns returns a kernel object from
+        :mod:`repro.kernels.components`; the replay backend then
+        batch-predicts whole branch segments between mispredicts.  The
+        default — None — keeps the component on the scalar path, which is
+        always correct.  A returned kernel must match the scalar lookup
+        bit for bit; ``repro check --components`` enforces that with a
+        seeded stimulus sweep (CON009), and the differential fuzzer
+        cross-checks whole-run counts.
+        """
+        return None
+
     def check_meta(self, meta: int) -> int:
         """Validate that metadata fits the declared width, then mask it.
 

@@ -7,8 +7,10 @@ reports every disagreement as a :class:`Mismatch`.  The catalog:
 ``backends``
     Bit-identity of the trace-driven family: the ``trace`` backend
     (interpreter stream) versus a save/load ``replay`` of the captured
-    :class:`~repro.workloads.traces.BranchTrace` (the columnar fast path)
-    versus the stream walker with the branchless-skip enabled.  The
+    :class:`~repro.workloads.traces.BranchTrace` versus the stream walker
+    with the branchless-skip enabled versus the columnar walker driven
+    both ways — scalar and through the batch-kernel segment engine
+    (``repro.kernels``) — when the composition is eligible.  The
     ``cycle`` backend is deliberately *not* in this oracle: its wrong-path
     predictor pollution makes its mispredict counts differ from the
     trace-driven methodology by design (§II-B, ``docs/backends.md``).
@@ -40,13 +42,14 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from repro import presets
 from repro.backends import RunLimits, get_backend
 from repro.backends.packets import drive_stream
-from repro.backends.replay import trace_packets, trace_stream
+from repro.backends.replay import drive_columns, trace_packets, trace_stream
 from repro.eval.cache import ResultCache, result_to_payload
 from repro.eval.metrics import RunResult
 from repro.eval.parallel import EvalJob, ParallelRunner
 from repro.eval.runner import run_suite, run_workload
 from repro.frontend.config import CoreConfig
 from repro.fuzz.generate import ProgramSpec, TopologyFactory, build_program
+from repro.kernels.engine import engine_for
 from repro.isa.program import Program
 from repro.workloads.registry import WorkloadSource
 from repro.workloads.traces import capture_trace
@@ -203,6 +206,51 @@ def oracle_backends(case: FuzzCase, scratch: Path) -> List[Mismatch]:
                 "stream walker with branchless skip diverged",
             )
         )
+
+    # The columnar walker both ways: scalar (engine disabled) and with the
+    # batch-kernel segment engine, pinned to the reference independently of
+    # how the replay backend gates between them.  Only branchless-inert
+    # compositions may take the columnar walker at all; the kernel leg
+    # additionally needs every component to advertise a columnar kernel.
+    if predictor.branchless_inert:
+        scalar_pred = case.build_predictor()
+        skipped = drive_columns(
+            scalar_pred,
+            trace,
+            trace_packets(trace, scalar_pred.config.fetch_width),
+            case.max_instructions,
+            engine=None,
+        )
+        if _walk_signature(skipped) != expected:
+            mismatches.append(
+                Mismatch(
+                    "backends",
+                    "trace-vs-columnar-skip",
+                    expected,
+                    _walk_signature(skipped),
+                    "columnar walker (scalar, no kernels) diverged",
+                )
+            )
+        kernel_pred = case.build_predictor()
+        engine = engine_for(kernel_pred)
+        if engine is not None:
+            batched = drive_columns(
+                kernel_pred,
+                trace,
+                trace_packets(trace, kernel_pred.config.fetch_width),
+                case.max_instructions,
+                engine=engine,
+            )
+            if _walk_signature(batched) != expected:
+                mismatches.append(
+                    Mismatch(
+                        "backends",
+                        "trace-vs-columnar-kernel",
+                        expected,
+                        _walk_signature(batched),
+                        "columnar walker with batch kernels diverged",
+                    )
+                )
     return mismatches
 
 

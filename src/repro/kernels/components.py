@@ -1,0 +1,813 @@
+"""Batch kernels: columnar ports of the table-based component lookups.
+
+One kernel class per component type.  Each implements the three-phase
+protocol the :class:`~repro.kernels.engine.SegmentEngine` drives:
+
+``lookup(ctx, state)``
+    The component's scalar ``lookup`` over every packet in the window at
+    once, against the **frozen** tables, consuming and producing
+    :class:`~repro.kernels.engine.ColState` grids.  Must stash whatever
+    the later phases need in ``ctx.scratch`` (keyed by component name —
+    topology names are unique) and must not write any component state.
+
+``mutates(ctx)``
+    A boolean column marking packets whose commit-time events cannot be
+    replayed from the frozen snapshot.  Every table write in the library
+    stores a value derived from *predict-time* metadata (§III-D: updates
+    reuse the counters carried in the meta field instead of re-reading the
+    table), so a write by itself never invalidates the snapshot — its
+    value is already known at predict time and ``commit`` scatters it.
+    What does invalidate a packet is a **read-after-dirty-write hazard**:
+    its lookup read a table row that an earlier packet's write changed
+    (:func:`~repro.kernels.vector_ops.earlier_dirty_same_key`), or an
+    event whose effect is not closed-form — an allocation that changes
+    which entries later lookups can match, the TAGE use-alt/decay
+    counters, a loop exit that retrains confidence.  May over-mark (a
+    spurious True only shortens the accepted segment); must never
+    under-mark.  Values computed for packets at or beyond the first True
+    are garbage by construction and are never used.
+
+``commit(ctx, accepted)``
+    Replay the writes of the accepted prefix.  Safe to scatter because the
+    hazard cut guarantees every write's value was computed from a row no
+    earlier accepted packet had changed; duplicate writes to one row are
+    applied in packet order (NumPy fancy assignment is last-wins), which
+    only arises when the earlier writes did not change the row.
+
+Update-time reads match the scalar components because the framework hands
+updates the *predict-time* history (§III-E, ``bundle.ghist == req_ghist``),
+so indices and tags regenerate identically from the context columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import mask
+from repro.components.btb import TARGET_BITS
+from repro.kernels.vector_ops import (
+    counter_is_weak_vec,
+    counter_taken_vec,
+    earlier_dirty_same_key,
+    fold_history_multi,
+    fold_history_vec,
+    forward_saturating,
+    hash_pc_multi,
+    hash_pc_vec,
+    saturating_changes_vec,
+    saturating_update_vec,
+)
+
+
+class HBIMKernel:
+    """Columnar :class:`~repro.components.bimodal.HBIM` (global schemes).
+
+    Only the PC/global-history index schemes are supported; local- and
+    path-history schemes read providers the engine does not columnarize,
+    and ``HBIM.columnar_kernel`` returns None for them.
+    """
+
+    def __init__(self, component):
+        self.c = component
+
+    def _index(self, ctx):
+        c = self.c
+        scheme = c._scheme
+        bits = scheme.index_bits
+        packet = ctx.aligned // c.fetch_width
+        if scheme.scheme == "pc":
+            return hash_pc_vec(packet, bits)
+        hist_bits = scheme.history_bits
+        if scheme.scheme == "ghist":
+            return fold_history_vec(ctx.req_ghist, hist_bits, bits)
+        if scheme.scheme == "gshare":
+            return hash_pc_vec(packet, bits) ^ fold_history_vec(
+                ctx.req_ghist, hist_bits, bits
+            )
+        assert scheme.scheme == "gselect", scheme.scheme
+        hist_part = bits // 2
+        pc_part = bits - hist_part
+        low = (ctx.req_ghist & np.uint64(mask(hist_part))).astype(np.int64)
+        return (hash_pc_vec(packet, pc_part) << hist_part) | low
+
+    def lookup(self, ctx, state):
+        c = self.c
+        idx = self._index(ctx)
+        # Forward every (row, lane) counter through the window: the value
+        # each packet reads equals the scalar sequential value, so counter
+        # movement never cuts a segment — HBIM has no allocations and its
+        # updates come from predict-time metadata.
+        key = (idx[:, None] * ctx.W + np.arange(ctx.W)[None, :]).ravel()
+        upd = ctx.upd_cond.ravel()
+        taken = ctx.rtaken_grid.ravel()
+        v0 = c._table[idx].astype(np.int64).ravel()
+        pre, _post, _last = forward_saturating(
+            key, upd, taken, v0, c.counter_bits
+        )
+        rows = pre.reshape(ctx.P, ctx.W)
+        ctx.scratch[c.name] = (key, upd, taken, v0)
+        out = state.copy()
+        # Every slot hits; non-jump slots take the counter's direction.
+        sel = ctx.lane_valid & ~out.is_jump
+        out.hit = out.hit | ctx.lane_valid
+        out.taken = np.where(
+            sel, counter_taken_vec(rows, c.counter_bits), out.taken
+        )
+        return out
+
+    def mutates(self, ctx):
+        return np.zeros(ctx.P, dtype=bool)
+
+    def commit(self, ctx, accepted):
+        c = self.c
+        key, upd, taken, v0 = ctx.scratch[c.name]
+        n = accepted * ctx.W
+        _pre, post, last = forward_saturating(
+            key[:n], upd[:n], taken[:n], v0[:n], c.counter_bits
+        )
+        sel = last & (post != v0[:n])
+        if sel.any():
+            kk = key[:n][sel]
+            c._table[kk // ctx.W, kk % ctx.W] = post[sel].astype(
+                c._table.dtype
+            )
+
+
+class GTagKernel:
+    """Columnar :class:`~repro.components.gtag.GTag`."""
+
+    def __init__(self, component):
+        self.c = component
+
+    def lookup(self, ctx, state):
+        c = self.c
+        packet = ctx.aligned // c.fetch_width
+        idx = hash_pc_vec(packet, c._index_bits) ^ fold_history_vec(
+            ctx.req_ghist, c.history_bits, c._index_bits
+        )
+        tag = (
+            (packet >> 2)
+            ^ fold_history_vec(ctx.req_ghist, c.history_bits, c.tag_bits)
+        ) & mask(c.tag_bits)
+        hit = c._valid[idx] & (c._tags[idx] == tag)
+        rows = c._ctrs[idx].astype(np.int64)
+        # Hit packets read and train their counter row from predict-time
+        # metadata; forwarding the row values makes those trains free.  A
+        # miss neither reads the counters nor writes without a mispredict
+        # (allocation), and mispredicted packets are cut by the direction
+        # check — so tags and valids stay frozen-exact.
+        hrows = np.flatnonzero(hit)
+        key = (idx[hrows, None] * ctx.W + np.arange(ctx.W)[None, :]).ravel()
+        upd = ctx.upd_cond[hrows].ravel()
+        taken = ctx.rtaken_grid[hrows].ravel()
+        v0 = rows[hrows].ravel()
+        if len(hrows):
+            pre, _post, _last = forward_saturating(
+                key, upd, taken, v0, c.counter_bits
+            )
+            rows = rows.copy()
+            rows[hrows] = pre.reshape(len(hrows), ctx.W)
+        ctx.scratch[c.name] = (hrows, key, upd, taken, v0)
+        out = state.copy()
+        sel = hit[:, None] & ctx.lane_valid & ~out.is_jump
+        out.hit = out.hit | sel
+        out.taken = np.where(
+            sel, counter_taken_vec(rows, c.counter_bits), out.taken
+        )
+        return out
+
+    def mutates(self, ctx):
+        return np.zeros(ctx.P, dtype=bool)
+
+    def commit(self, ctx, accepted):
+        c = self.c
+        hrows, key, upd, taken, v0 = ctx.scratch[c.name]
+        n = int(np.searchsorted(hrows, accepted)) * ctx.W
+        if n == 0:
+            return
+        _pre, post, last = forward_saturating(
+            key[:n], upd[:n], taken[:n], v0[:n], c.counter_bits
+        )
+        sel = last & (post != v0[:n])
+        if sel.any():
+            kk = key[:n][sel]
+            c._ctrs[kk // ctx.W, kk % ctx.W] = post[sel].astype(c._ctrs.dtype)
+
+
+class TwoLevelKernel:
+    """Columnar :class:`~repro.components.twolevel.TwoLevel` (GAg/GAp).
+
+    P variants own per-branch level-1 registers mutated at ``fire`` time on
+    every candidate packet; they stay scalar (``columnar_kernel`` → None).
+    """
+
+    def __init__(self, component):
+        self.c = component
+
+    def lookup(self, ctx, state):
+        c = self.c
+        cand_grid = state.hit & state.is_branch & ctx.lane_valid
+        has_cand = cand_grid.any(axis=1)
+        cand = np.argmax(cand_grid, axis=1)  # first candidate lane
+        branch_pc = ctx.aligned + cand
+        history = (ctx.req_ghist & np.uint64(mask(c.history_bits))).astype(
+            np.int64
+        )
+        table_bits = max(1, (c.l2_tables - 1).bit_length())
+        table = hash_pc_vec(branch_pc, table_bits) % c.l2_tables
+        index = history & mask(c._l2_index_bits)
+        ctr = c._l2[table, index].astype(np.int64)
+        # One pattern counter read + trained per candidate packet, from
+        # predict-time metadata: forward it through the window.
+        rows = np.arange(ctx.P)
+        crows = np.flatnonzero(has_cand)
+        key = (table * c.l2_sets + index)[crows]
+        upd = (has_cand & ctx.upd_cond[rows, cand])[crows]
+        taken = ctx.rtaken_grid[rows, cand][crows]
+        v0 = ctr[crows]
+        if len(crows):
+            pre, _post, _last = forward_saturating(
+                key, upd, taken, v0, c.counter_bits
+            )
+            ctr = ctr.copy()
+            ctr[crows] = pre
+        ctx.scratch[c.name] = (crows, key, upd, taken, v0)
+        out = state.copy()
+        out.hit[crows, cand[crows]] = True
+        out.taken[crows, cand[crows]] = counter_taken_vec(
+            ctr[crows], c.counter_bits
+        )
+        return out
+
+    def mutates(self, ctx):
+        return np.zeros(ctx.P, dtype=bool)
+
+    def commit(self, ctx, accepted):
+        c = self.c
+        crows, key, upd, taken, v0 = ctx.scratch[c.name]
+        n = int(np.searchsorted(crows, accepted))
+        if n == 0:
+            return
+        _pre, post, last = forward_saturating(
+            key[:n], upd[:n], taken[:n], v0[:n], c.counter_bits
+        )
+        sel = last & (post != v0[:n])
+        if sel.any():
+            kk = key[:n][sel]
+            c._l2[kk // c.l2_sets, kk % c.l2_sets] = post[sel].astype(
+                c._l2.dtype
+            )
+
+
+class BTBKernel:
+    """Columnar :class:`~repro.components.btb.BTB`."""
+
+    def __init__(self, component):
+        self.c = component
+
+    def lookup(self, ctx, state):
+        c = self.c
+        packet = ctx.aligned // c.fetch_width
+        idx = hash_pc_vec(packet, c._index_bits)
+        tag = (packet >> c._index_bits) & mask(c.tag_bits)
+        way = np.full(ctx.P, -1, dtype=np.int64)
+        for w in range(c.n_ways):  # first matching way, like _find_way
+            match = (way < 0) & c._valid[idx, w] & (c._tags[idx, w] == tag)
+            way[match] = w
+        hit = way >= 0
+        w_safe = np.maximum(way, 0)
+        sv = c._slot_valid[idx, w_safe] & hit[:, None] & ctx.lane_valid
+        sj = c._slot_jump[idx, w_safe]
+        tg = c._targets[idx, w_safe]
+        ctx.scratch[c.name] = (idx, tag, hit, w_safe, sv, sj, tg)
+        out = state.copy()
+        jmp = sv & sj
+        br = sv & ~sj
+        out.hit = out.hit | sv
+        out.target = np.where(sv, tg, out.target)
+        out.is_jump = out.is_jump | jmp
+        out.is_branch = np.where(jmp, False, out.is_branch | br)
+        out.taken = out.taken | jmp
+        return out
+
+    def _dirty(self, ctx):
+        c = self.c
+        idx, tag, hit, w_safe, sv, sj, tg = ctx.scratch[c.name]
+        # The update applies only to a committed taken CFI with a known
+        # target; in a pure packet the CFI is always taken.  Rewriting a
+        # hit entry with identical slot contents leaves the set untouched;
+        # a changed rewrite or an allocation dirties it.
+        app = ctx.has_cfi & (ctx.cfi_target >= 0)
+        rows = np.arange(ctx.P)
+        lane = np.clip(ctx.cfi_lane, 0, ctx.W - 1)
+        new_jump = ctx.cfi_is_jal | ctx.cfi_is_jalr
+        new_target = ctx.cfi_target & mask(TARGET_BITS)
+        unchanged = (
+            sv[rows, lane]
+            & (sj[rows, lane] == new_jump)
+            & (tg[rows, lane] == new_target)
+        )
+        return app & ~(hit & unchanged)
+
+    def mutates(self, ctx):
+        idx = ctx.scratch[self.c.name][0]
+        # Every packet reads its set (all ways); writes land in the same
+        # set they read, so staleness is per-index.
+        return earlier_dirty_same_key(idx, self._dirty(ctx))
+
+    def commit(self, ctx, accepted):
+        c = self.c
+        idx, tag, hit, w_safe, sv, sj, tg = ctx.scratch[c.name]
+        app = (ctx.has_cfi & (ctx.cfi_target >= 0))[:accepted]
+        if not app.any():
+            return
+        lane = np.clip(ctx.cfi_lane, 0, ctx.W - 1)[:accepted]
+        new_jump = (ctx.cfi_is_jal | ctx.cfi_is_jalr)[:accepted]
+        new_target = (ctx.cfi_target[:accepted] & mask(TARGET_BITS)).astype(
+            c._targets.dtype
+        )
+        hw = np.flatnonzero(app & hit[:accepted])
+        if len(hw):
+            c._slot_valid[idx[hw], w_safe[hw], lane[hw]] = True
+            c._slot_jump[idx[hw], w_safe[hw], lane[hw]] = new_jump[hw]
+            c._targets[idx[hw], w_safe[hw], lane[hw]] = new_target[hw]
+        # Allocations: the hazard cut leaves at most one per set in the
+        # prefix, and no earlier dirty write to it, so the frozen
+        # replacement pointer is exact.  An allocation follows any clean
+        # same-set rewrites chronologically, matching this ordering.
+        al = np.flatnonzero(app & ~hit[:accepted])
+        if len(al):
+            w = c._replace_ptr[idx[al]]
+            c._replace_ptr[idx[al]] = (w + 1) % c.n_ways
+            c._valid[idx[al], w] = True
+            c._tags[idx[al], w] = tag[al]
+            c._slot_valid[idx[al], w, :] = False
+            c._slot_valid[idx[al], w, lane[al]] = True
+            c._slot_jump[idx[al], w, lane[al]] = new_jump[al]
+            c._targets[idx[al], w, lane[al]] = new_target[al]
+
+
+class MicroBTBKernel:
+    """Columnar :class:`~repro.components.btb.MicroBTB`."""
+
+    def __init__(self, component):
+        self.c = component
+
+    def lookup(self, ctx, state):
+        c = self.c
+        tag = (ctx.aligned // c.fetch_width) & mask(c.tag_bits)
+        match = c._valid[None, :] & (tag[:, None] == c._tags[None, :])
+        hit = match.any(axis=1)
+        entry = np.argmax(match, axis=1)  # first matching entry, like _find
+        stored = c._cfi_idx[entry]  # absolute lane of the tracked CFI
+        is_jump = c._is_jump[entry]
+        target = c._targets[entry]
+        ctr = c._ctrs[entry].astype(np.int64)
+        # Forward the per-entry direction counter: advances (hit branch
+        # entry at the committed CFI lane) and fall-through decrements both
+        # write from predict-time metadata.  CAM tags stay frozen-exact
+        # because allocations cut every later packet.
+        at_cfi = ctx.has_cfi & (ctx.cfi_lane == stored)
+        advance = hit & ~is_jump & at_cfi
+        decrement = hit & ~is_jump & ~ctx.has_cfi & (stored >= ctx.offset)
+        hrows = np.flatnonzero(hit)
+        key = entry[hrows]
+        upd = (advance | decrement)[hrows]
+        taken = advance[hrows]
+        v0 = ctr[hrows]
+        if len(hrows):
+            pre, _post, _last = forward_saturating(
+                key, upd, taken, v0, c.counter_bits
+            )
+            ctr = ctr.copy()
+            ctr[hrows] = pre
+        ctx.scratch[c.name] = (tag, hit, stored, hrows, key, upd, taken, v0)
+        out = state.copy()
+        in_pkt = hit & (stored >= ctx.offset)
+        rows = np.flatnonzero(in_pkt)
+        lanes = stored[rows]
+        out.hit[rows, lanes] = True
+        out.target[rows, lanes] = target[rows]
+        jmp = is_jump[rows]
+        out.is_jump[rows[jmp], lanes[jmp]] = True
+        out.taken[rows[jmp], lanes[jmp]] = True
+        br = ~jmp
+        out.is_branch[rows[br], lanes[br]] = True
+        out.taken[rows[br], lanes[br]] = counter_taken_vec(
+            ctr[rows[br]], c.counter_bits
+        )
+        return out
+
+    def _allocs(self, ctx):
+        hit = ctx.scratch[self.c.name][1]
+        # A miss allocates only for a taken CFI with a known target; in a
+        # pure packet the CFI is always taken.
+        return ~hit & ctx.has_cfi & (ctx.cfi_target >= 0)
+
+    def mutates(self, ctx):
+        # An allocation changes the CAM contents every later lookup matches
+        # against, so everything after one is stale.  Counter movement is
+        # forwarded and never cuts.
+        alloc = self._allocs(ctx)
+        return (np.cumsum(alloc) - alloc) > 0
+
+    def commit(self, ctx, accepted):
+        c = self.c
+        tag, hit, stored, hrows, key, upd, taken, v0 = ctx.scratch[c.name]
+        n = int(np.searchsorted(hrows, accepted))
+        if n:
+            _pre, post, last = forward_saturating(
+                key[:n], upd[:n], taken[:n], v0[:n], c.counter_bits
+            )
+            sel = last & (post != v0[:n])
+            if sel.any():
+                c._ctrs[key[:n][sel]] = post[sel].astype(c._ctrs.dtype)
+        al = np.flatnonzero(self._allocs(ctx)[:accepted])
+        if len(al):  # at most one: every later packet was cut
+            p = int(al[0])
+            e = c._alloc_ptr
+            c._alloc_ptr = (e + 1) % c.n_entries
+            c._valid[e] = True
+            c._tags[e] = tag[p]
+            c._cfi_idx[e] = int(ctx.cfi_lane[p])
+            c._is_jump[e] = bool(ctx.cfi_is_jal[p] or ctx.cfi_is_jalr[p])
+            c._targets[e] = int(ctx.cfi_target[p])
+            c._ctrs[e] = mask(c.counter_bits)
+
+
+class TAGEKernel:
+    """Columnar :class:`~repro.components.tage.TAGE`."""
+
+    def __init__(self, component):
+        self.c = component
+        cfgs = component.tables
+        self._hbs = [cfg.history_bits for cfg in cfgs]
+        self._ibs = list(component._index_bits)
+        self._tbs = [cfg.tag_bits for cfg in cfgs]
+        self._tbs1 = [cfg.tag_bits - 1 for cfg in cfgs]
+        self._tag_mask_col = np.asarray(
+            component._tag_masks, dtype=np.int64
+        )[:, None]
+
+    def lookup(self, ctx, state):
+        c = self.c
+        P, W = ctx.P, ctx.W
+        packet = ctx.fetch_pc // c.fetch_width  # unaligned, as the scalar
+        half = packet >> 1
+        prov_valid = np.zeros(P, dtype=bool)
+        alt_valid = np.zeros(P, dtype=bool)
+        prov_ctr = np.zeros((P, W), dtype=np.int64)
+        alt_ctr = np.zeros((P, W), dtype=np.int64)
+        prov_u = np.zeros(P, dtype=np.int64)
+        prov_table = np.zeros(P, dtype=np.int64)
+        idx_t = hash_pc_multi(packet, self._ibs) ^ fold_history_multi(
+            ctx.req_ghist, self._hbs, self._ibs
+        )
+        tag_t = (
+            hash_pc_multi(half, self._tbs)
+            ^ fold_history_multi(ctx.req_ghist, self._hbs, self._tbs)
+            ^ (fold_history_multi(ctx.req_ghist, self._hbs, self._tbs1) << 1)
+        ) & self._tag_mask_col
+        idx_all = []
+        hit_all = []
+        for t in range(len(c.tables)):
+            idx = idx_t[t]
+            hit = c._valid[t][idx] & (c._tags[t][idx] == tag_t[t])
+            idx_all.append(idx)
+            hit_all.append(hit)
+            # Running demotion: the previous provider becomes the alternate.
+            alt_ctr[hit] = prov_ctr[hit]
+            alt_valid = np.where(hit, prov_valid, alt_valid)
+            prov_ctr[hit] = c._ctrs[t][idx[hit]]
+            prov_u[hit] = c._useful[t][idx[hit]]
+            prov_table[hit] = t
+            prov_valid = prov_valid | hit
+        prov_index = np.stack(idx_all)[prov_table, np.arange(P)]
+        base_taken = state.hit & state.taken
+        alt_taken = np.where(
+            alt_valid[:, None],
+            counter_taken_vec(alt_ctr, c.counter_bits),
+            base_taken,
+        )
+        newly = (prov_u == 0)[:, None] & counter_is_weak_vec(
+            prov_ctr, c.counter_bits
+        )
+        taken = counter_taken_vec(prov_ctr, c.counter_bits)
+        # The use-alt-on-new-alloc counter is a single saturating counter
+        # trained once per newly-allocated disagreeing branch lane, so its
+        # in-window trajectory forwards exactly: each packet's lookup reads
+        # the value left by every earlier packet's trainings.
+        ua_ev = (
+            prov_valid[:, None]
+            & ctx.upd_cond
+            & newly
+            & (taken != alt_taken)
+        )
+        ev_p, ev_l = np.nonzero(ua_ev)  # row-major = chronological
+        ua0 = int(c._use_alt_on_na)
+        if len(ev_p):
+            _, ua_post, _ = forward_saturating(
+                np.zeros(len(ev_p), dtype=np.int64),
+                np.ones(len(ev_p), dtype=bool),
+                alt_taken[ev_p, ev_l] == ctx.rtaken_grid[ev_p, ev_l],
+                np.full(len(ev_p), ua0, dtype=np.int64),
+                4,
+            )
+            first_ev = np.searchsorted(ev_p, np.arange(P))
+            ua_read = np.where(
+                first_ev == 0, ua0, ua_post[np.maximum(first_ev - 1, 0)]
+            )
+            taken = np.where(
+                newly & (ua_read >= 8)[:, None], alt_taken, taken
+            )
+        else:
+            ua_post = None
+            if ua0 >= 8:
+                taken = np.where(newly, alt_taken, taken)
+        ctx.scratch[c.name] = (
+            prov_valid,
+            prov_table,
+            prov_index,
+            prov_ctr,
+            prov_u,
+            alt_taken,
+            newly,
+            idx_all,
+            hit_all,
+            ev_p,
+            ua_post,
+        )
+        out = state.copy()
+        sel = prov_valid[:, None] & ctx.lane_valid & ~out.is_jump
+        out.hit = out.hit | sel
+        out.taken = np.where(sel, taken, out.taken)
+        return out
+
+    def mutates(self, ctx):
+        c = self.c
+        (
+            prov_valid,
+            prov_table,
+            prov_index,
+            prov_ctr,
+            prov_u,
+            alt_taken,
+            newly,
+            idx_all,
+            hit_all,
+            ev_p,
+            ua_post,
+        ) = ctx.scratch[c.name]
+        prov_taken = counter_taken_vec(prov_ctr, c.counter_bits)
+        upd = ctx.upd_cond
+        has_br = upd.any(axis=1)
+        ctr_moves = (
+            saturating_changes_vec(prov_ctr, ctx.rtaken_grid, c.counter_bits)
+            & upd
+        ).any(axis=1)
+        disagree = (prov_taken != alt_taken) & upd
+        u_agree = prov_taken == ctx.rtaken_grid
+        u_moves = (
+            disagree
+            & np.where(
+                u_agree,
+                prov_u[:, None] < mask(c.u_bits),
+                prov_u[:, None] > 0,
+            )
+        ).any(axis=1)
+        dirty = has_br & prov_valid & (ctr_moves | u_moves)
+        # Usefulness decay fires every u_decay_period counted updates; the
+        # boundary packet goes scalar and performs the actual decay.
+        update_seq = c._update_count + np.cumsum(has_br)
+        decay = has_br & (update_seq % c.u_decay_period == 0)
+        # Counter/usefulness writes land at the provider's (table, index);
+        # only packets that hit that table row read it.
+        hazard = np.zeros(ctx.P, dtype=bool)
+        for t in range(len(c.tables)):
+            hazard |= hit_all[t] & earlier_dirty_same_key(
+                idx_all[t], dirty & (prov_table == t)
+            )
+        return decay | hazard
+
+    def commit(self, ctx, accepted):
+        c = self.c
+        (
+            prov_valid,
+            prov_table,
+            prov_index,
+            prov_ctr,
+            prov_u,
+            alt_taken,
+            newly,
+            idx_all,
+            hit_all,
+            ev_p,
+            ua_post,
+        ) = ctx.scratch[c.name]
+        upd = ctx.upd_cond[:accepted]
+        has_br = upd.any(axis=1)
+        # The scalar update increments the decay clock once per committed
+        # packet that carries at least one resolved branch.
+        c._update_count += int(has_br.sum())
+        if ua_post is not None:
+            n_ev = int(np.searchsorted(ev_p, accepted))
+            if n_ev:
+                c._use_alt_on_na = int(ua_post[n_ev - 1])
+        act = has_br & prov_valid[:accepted]
+        if not act.any():
+            return
+        prov_taken = counter_taken_vec(prov_ctr[:accepted], c.counter_bits)
+        rt = ctx.rtaken_grid[:accepted]
+        disagree = (prov_taken != alt_taken[:accepted]) & upd
+        for t in range(len(c.tables)):
+            rows = np.flatnonzero(act & (prov_table[:accepted] == t))
+            if not len(rows):
+                continue
+            pi = prov_index[:accepted][rows]
+            p_i, l_i = np.nonzero(upd[rows])
+            new = saturating_update_vec(
+                prov_ctr[:accepted][rows][p_i, l_i],
+                rt[rows][p_i, l_i],
+                c.counter_bits,
+            )
+            c._ctrs[t][pi[p_i], l_i] = new.astype(c._ctrs[t].dtype)
+            # Usefulness trains once per disagreeing lane from the same
+            # metadata value; the last lane's write is the survivor.
+            d = disagree[rows]
+            any_d = d.any(axis=1)
+            if any_d.any():
+                rr = np.flatnonzero(any_d)
+                last = ctx.W - 1 - np.argmax(d[rr][:, ::-1], axis=1)
+                agree = prov_taken[rows][rr, last] == rt[rows][rr, last]
+                new_u = saturating_update_vec(
+                    prov_u[:accepted][rows][rr], agree, c.u_bits
+                )
+                c._useful[t][pi[rr]] = new_u.astype(c._useful[t].dtype)
+
+
+class LoopKernel:
+    """Columnar :class:`~repro.components.loop.LoopPredictor`.
+
+    The loop predictor tracks at most one candidate per packet, so its
+    per-window work is inherently ``O(P)`` rather than ``O(P*W)``.  Rather
+    than approximate its five-field state machine (trip/conf/commit/spec/
+    zero-streak, all coupled through the exit path) with scans and cut on
+    the hard cases, the kernel grids the entry matches columnarly and then
+    *replays the scalar state machine exactly* over the window's loop
+    events — lookup, fire, and train per packet, in the scalar driver's
+    order — against a private copy of each touched entry.  Every pure
+    packet is then exact by construction: retraining exits, direction
+    flips, and overflow invalidations all forward.  The kernel never cuts;
+    allocations and repairs only occur on mispredicted packets, which end
+    the segment before they commit.  ``commit`` re-runs the simulation
+    over the accepted prefix and writes back the final entry states.
+    """
+
+    def __init__(self, component):
+        self.c = component
+
+    def lookup(self, ctx, state):
+        c = self.c
+        branch_pc = ctx.aligned[:, None] + np.arange(ctx.W)[None, :]
+        idx = hash_pc_vec(branch_pc, c._index_bits)
+        tag = (branch_pc >> c._index_bits) & mask(c.tag_bits)
+        ematch = c._valid[idx] & (c._tags[idx] == tag)
+        cand_lanes = state.hit & state.is_branch & ctx.lane_valid & ematch
+        train_grid = ematch & ctx.upd_cond
+        # Row-major nonzero order is chronological: packets in time order,
+        # lanes in scalar iteration order within a packet.
+        p_c, l_c = np.nonzero(cand_lanes)
+        p_t, l_t = np.nonzero(train_grid)
+        ctx.scratch[c.name] = (
+            p_c.tolist(),
+            l_c.tolist(),
+            idx[p_c, l_c].tolist(),
+            ctx.rtaken_grid[p_c, l_c].tolist(),
+            ctx.upd_cond[p_c, l_c].tolist(),
+            p_t.tolist(),
+            idx[p_t, l_t].tolist(),
+            ctx.rtaken_grid[p_t, l_t].tolist(),
+        )
+        preds, _ = self._simulate(ctx, ctx.P)
+        out = state.copy()
+        for p, lane, predicted in preds:
+            out.hit[p, lane] = True
+            out.taken[p, lane] = predicted
+        return out
+
+    def _simulate(self, ctx, limit):
+        """Replay the scalar loop state machine over packets ``< limit``.
+
+        Returns ``(preds, entries)``: the (row, lane, taken) predictions
+        the scalar lookups would make, and the final simulated state of
+        every touched entry keyed by index.
+        """
+        c = self.c
+        p_c, l_c, e_c, rt_c, upd_c, p_t, e_t, rt_t = ctx.scratch[c.name]
+        iter_top = mask(c.iter_bits)
+        conf_threshold = c.CONF_THRESHOLD
+        conf_max = c.CONF_MAX
+        # entry -> [valid, direction, trip, spec, commit, conf, zstreak]
+        entries = {}
+
+        def load(e):
+            s = entries.get(e)
+            if s is None:
+                s = [
+                    True,
+                    bool(c._direction[e]),
+                    int(c._trip[e]),
+                    int(c._spec_iter[e]),
+                    int(c._commit_iter[e]),
+                    int(c._conf[e]),
+                    int(c._zero_streak[e]),
+                ]
+                entries[e] = s
+            return s
+
+        preds = []
+        i = j = 0
+        nc = len(p_c)
+        nt = len(p_t)
+        while i < nc or j < nt:
+            p = min(
+                p_c[i] if i < nc else limit, p_t[j] if j < nt else limit
+            )
+            if p >= limit:
+                break
+            # Lookup + fire: the first candidate lane whose entry is still
+            # valid (an in-window overflow may have invalidated it).
+            fired = False
+            while i < nc and p_c[i] == p:
+                if not fired:
+                    s = load(e_c[i])
+                    if s[0]:
+                        fired = True
+                        spec = s[3]
+                        if s[5] >= conf_threshold and s[2] > 0:
+                            body = s[1]
+                            preds.append(
+                                (
+                                    p,
+                                    l_c[i],
+                                    (not body) if spec == s[2] else body,
+                                )
+                            )
+                        if upd_c[i]:
+                            s[3] = (
+                                min(spec + 1, iter_top)
+                                if rt_c[i] == s[1]
+                                else 0
+                            )
+                i += 1
+            # Commit-time training, every matched committed branch lane.
+            while j < nt and p_t[j] == p:
+                s = load(e_t[j])
+                if not s[0]:
+                    j += 1
+                    continue
+                if rt_t[j] == s[1]:  # loop body
+                    count = s[4] + 1
+                    if count > iter_top:
+                        s[0] = False  # iteration overflow: untrackable
+                    else:
+                        s[4] = count
+                        s[6] = 0
+                else:  # loop exit: trip-count training
+                    observed = s[4]
+                    if observed == s[2] and observed > 0:
+                        s[5] = min(s[5] + 1, conf_max)
+                    else:
+                        s[2] = observed
+                        s[5] = 1 if observed > 0 else 0
+                    s[4] = 0
+                    if observed == 0:
+                        streak = s[6] + 1
+                        if streak >= 3:
+                            # Allocation-polarity flip (see _train).
+                            s[1] = not s[1]
+                            s[2] = 0
+                            s[5] = 0
+                            s[3] = 0
+                            s[6] = 0
+                        else:
+                            s[6] = streak
+                    else:
+                        s[6] = 0
+                j += 1
+        return preds, entries
+
+    def mutates(self, ctx):
+        return np.zeros(ctx.P, dtype=bool)
+
+    def commit(self, ctx, accepted):
+        c = self.c
+        _, entries = self._simulate(ctx, accepted)
+        for e, s in entries.items():
+            c._valid[e] = s[0]
+            c._direction[e] = s[1]
+            c._trip[e] = s[2]
+            c._spec_iter[e] = s[3]
+            c._commit_iter[e] = s[4]
+            c._conf[e] = s[5]
+            c._zero_streak[e] = s[6]

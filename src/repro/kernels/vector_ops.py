@@ -1,0 +1,241 @@
+"""Columnar ports of the scalar bit-manipulation helpers in :mod:`repro._util`.
+
+Each function mirrors its scalar namesake bit for bit over numpy arrays, so
+the batch kernels in :mod:`repro.kernels.components` compute exactly the
+indices, tags, and counter decisions the scalar components would.  The
+scalar helpers remain the reference implementations; the test suite and the
+CON009 contract rule hold these ports to them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._util import mask
+
+
+def fold_history_vec(
+    history: np.ndarray, history_bits: int, folded_bits: int
+) -> np.ndarray:
+    """Vectorized :func:`repro._util.fold_history` over a uint64 column.
+
+    The scalar version loops ``while history``; XORing a fixed
+    ``ceil(history_bits / folded_bits)`` chunk count is equivalent because
+    exhausted histories contribute zero chunks.
+    """
+    if folded_bits <= 0:
+        return np.zeros(np.shape(history), dtype=np.int64)
+    h = history.astype(np.uint64) & np.uint64(mask(min(history_bits, 64)))
+    chunk = np.uint64(mask(folded_bits))
+    shift = np.uint64(folded_bits)
+    folded = np.zeros(np.shape(history), dtype=np.uint64)
+    for _ in range((history_bits + folded_bits - 1) // folded_bits):
+        folded ^= h & chunk
+        h >>= shift
+    return folded.astype(np.int64)
+
+
+def fold_history_multi(
+    history: np.ndarray, history_bits, folded_bits
+) -> np.ndarray:
+    """:func:`fold_history_vec` for T ``(history_bits, folded_bits)`` pairs.
+
+    Stacks the per-table chunk loops into one ``(T, P)`` sweep: tables
+    whose chunks are exhausted shift to zero and XOR nothing, so running
+    every table for the longest table's chunk count is exact.  Batching
+    matters because TAGE folds three quantities for each of its tables
+    per window — per-table calls dominate small-window attempts.
+    """
+    pairs = list(zip(history_bits, folded_bits))
+    hmask = np.array(
+        [mask(min(int(hb), 64)) for hb, _ in pairs], dtype=np.uint64
+    )
+    chunk = np.array(
+        [mask(int(fb)) if fb > 0 else 0 for _, fb in pairs], dtype=np.uint64
+    )
+    shift = np.array(
+        [int(fb) if fb > 0 else 63 for _, fb in pairs], dtype=np.uint64
+    )
+    h = np.asarray(history, dtype=np.uint64)[None, :] & hmask[:, None]
+    folded = np.zeros_like(h)
+    rounds = max(
+        (int(hb) + int(fb) - 1) // int(fb)
+        for hb, fb in pairs
+        if fb > 0
+    )
+    ck = chunk[:, None]
+    sh = shift[:, None]
+    for _ in range(rounds):
+        folded ^= h & ck
+        h >>= sh
+    return folded.astype(np.int64)
+
+
+def hash_pc_multi(pc: np.ndarray, bits) -> np.ndarray:
+    """:func:`hash_pc_vec` for T bit widths at once, returning ``(T, P)``."""
+    b = np.asarray(bits, dtype=np.int64)[:, None]
+    m = np.array(
+        [mask(int(x)) if x > 0 else 0 for x in bits], dtype=np.int64
+    )[:, None]
+    p = np.asarray(pc, dtype=np.int64)[None, :]
+    bs = np.maximum(b, 1)  # avoid 0-bit shifts; the zero mask wins anyway
+    return (p ^ (p >> bs) ^ (p >> (2 * bs))) & m
+
+
+def hash_pc_vec(pc: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`repro._util.hash_pc` over an int64 column."""
+    if bits <= 0:
+        return np.zeros(np.shape(pc), dtype=np.int64)
+    h = pc ^ (pc >> bits) ^ (pc >> (2 * bits))
+    return h & mask(bits)
+
+
+def counter_taken_vec(counter: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`repro._util.counter_taken` (MSB decision)."""
+    return ((counter >> (bits - 1)) & 1).astype(bool)
+
+
+def counter_is_weak_vec(counter: np.ndarray, bits: int) -> np.ndarray:
+    """Vectorized :func:`repro._util.counter_is_weak`."""
+    c = counter.astype(np.int64)
+    mid_hi = 1 << (bits - 1)
+    return (c == mid_hi) | (c == mid_hi - 1)
+
+
+def saturating_changes_vec(
+    counter: np.ndarray, taken: np.ndarray, bits: int
+) -> np.ndarray:
+    """Whether :func:`repro._util.saturating_update` would move the counter."""
+    c = counter.astype(np.int64)
+    return np.where(taken, c < mask(bits), c > 0)
+
+
+def saturating_update_vec(
+    counter: np.ndarray, taken: np.ndarray, bits: int
+) -> np.ndarray:
+    """Vectorized :func:`repro._util.saturating_update`."""
+    c = counter.astype(np.int64)
+    return np.where(taken, np.minimum(c + 1, mask(bits)), np.maximum(c - 1, 0))
+
+
+def earlier_dirty_same_key(keys: np.ndarray, dirty: np.ndarray) -> np.ndarray:
+    """Read-after-dirty-write hazards along a column of table indices.
+
+    ``out[i]`` is True when some earlier position ``j < i`` with
+    ``keys[j] == keys[i]`` has ``dirty[j]`` set: position ``i`` would read a
+    table row an earlier packet's replayed write has changed, so the frozen
+    snapshot it was predicted from is stale.  Positions are chronological
+    (packet order); a stable argsort groups equal keys without reordering
+    time.
+    """
+    n = len(keys)
+    if n == 0:
+        return np.zeros(0, dtype=bool)
+    order = np.argsort(keys, kind="stable")
+    d = dirty[order].astype(np.int64)
+    excl = np.cumsum(d) - d
+    sk = keys[order]
+    group_start = np.empty(n, dtype=bool)
+    group_start[0] = True
+    group_start[1:] = sk[1:] != sk[:-1]
+    # ``excl`` is non-decreasing, so a running max of its value at each
+    # group start yields the per-group baseline.
+    base = np.maximum.accumulate(np.where(group_start, excl, 0))
+    out = np.empty(n, dtype=bool)
+    out[order] = (excl - base) > 0
+    return out
+
+
+#: Sentinel bounds for the clamp-function monoid in
+#: :func:`forward_saturating`; wider than any counter range.
+_BIG = np.int64(1) << np.int64(40)
+
+
+def forward_saturating(keys, upd, taken, v0, bits):
+    """Forward saturating-counter values through a chronological event chain.
+
+    Each event reads one counter (identified by ``keys``) and, when
+    ``upd`` is set, steps it ``clip(v ± 1, 0, top)`` toward ``taken``.
+    ``v0`` carries the counter's frozen (pre-window) value per event.
+    Returns ``(pre, post, last)``: the value each event *reads* (what the
+    scalar predictor would have seen at that point), the value after the
+    event, and a mask of each key's final event — ``post[last]`` is the
+    counter's end-of-window value.
+
+    The step functions ``v -> min(hi, max(lo, v + a))`` form a monoid
+    under composition, so a segmented Hillis-Steele scan over the events
+    of each key (stable argsort keeps them chronological) computes every
+    exclusive prefix in ``O(n log n)`` without per-key loops.
+    """
+    n = len(keys)
+    if n == 0:
+        z = np.zeros(0, dtype=np.int64)
+        return z, z, np.zeros(0, dtype=bool)
+    top = mask(bits)
+    order = np.argsort(keys, kind="stable")
+    sk = keys[order]
+    group_start = np.empty(n, dtype=bool)
+    group_start[0] = True
+    group_start[1:] = sk[1:] != sk[:-1]
+    step_dir = np.where(taken[order], 1, -1)
+    is_upd = upd[order]
+    # Element i holds the *previous* event's step (identity at group
+    # starts), so the inclusive scan yields exclusive prefixes.
+    a = np.zeros(n, dtype=np.int64)
+    lo = np.full(n, -_BIG)
+    hi = np.full(n, _BIG)
+    shifted = ~group_start[1:] & is_upd[:-1]
+    a[1:] = np.where(shifted, step_dir[:-1], 0)
+    lo[1:] = np.where(shifted, 0, -_BIG)
+    hi[1:] = np.where(shifted, top, _BIG)
+    pos = np.arange(n)
+    g0 = np.maximum.accumulate(np.where(group_start, pos, 0))
+    step = 1
+    while step < n:
+        src = pos - step
+        valid = src >= g0
+        vs = np.maximum(src, 0)
+        # Compose: the function ending at src applies first, then ours.
+        na = np.where(valid, a[vs] + a, a)
+        nlo = np.where(valid, np.minimum(hi, np.maximum(lo, lo[vs] + a)), lo)
+        nhi = np.where(valid, np.minimum(hi, np.maximum(lo, hi[vs] + a)), hi)
+        a, lo, hi = na, nlo, nhi
+        step <<= 1
+    pre_sorted = np.minimum(hi, np.maximum(lo, v0[order] + a))
+    pre = np.empty(n, dtype=np.int64)
+    pre[order] = pre_sorted
+    post = np.where(
+        upd,
+        np.minimum(np.maximum(pre + np.where(taken, 1, -1), 0), top),
+        pre,
+    )
+    group_last = np.empty(n, dtype=bool)
+    group_last[:-1] = group_start[1:]
+    group_last[-1] = True
+    last = np.zeros(n, dtype=bool)
+    last[order[group_last]] = True
+    return pre, post, last
+
+
+def rolling_histories(
+    ghist0: int, outcome_bits: np.ndarray, history_bits: int
+) -> np.ndarray:
+    """Global-history register value after every prefix of ``outcome_bits``.
+
+    ``R[i]`` is the shift register (LSB = newest outcome, as
+    :meth:`~repro.core.history.GlobalHistoryProvider.speculate` maintains
+    it) after the first ``i`` outcomes have been shifted into ``ghist0``.
+    Requires ``history_bits <= 64``; the engine's eligibility gate enforces
+    that.
+    """
+    m = len(outcome_bits)
+    ext = np.zeros(64 + m, dtype=np.uint64)
+    ext[:64] = (np.uint64(ghist0) >> np.arange(63, -1, -1, dtype=np.uint64)) & np.uint64(1)
+    if m:
+        ext[64:] = outcome_bits.astype(np.uint64)
+    # rolled[i] = sum_t ext[63 + i - t] << t for t < history_bits: a
+    # sliding 64-bit window, weighted so the newest outcome is the LSB.
+    windows = np.lib.stride_tricks.sliding_window_view(ext, 64)
+    t = np.arange(63, -1, -1)
+    weights = np.where(t < history_bits, np.uint64(1) << t.astype(np.uint64), np.uint64(0))
+    return windows @ weights

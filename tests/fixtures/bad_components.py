@@ -154,6 +154,53 @@ class BranchlessLearner(_Base):
         self._fetches = 0
 
 
+class _InvertingKernel:
+    """Batch kernel that predicts the opposite of its scalar component."""
+
+    def __init__(self, component):
+        self.c = component
+
+    def lookup(self, ctx, state):
+        import numpy as np
+
+        out = state.copy()
+        sel = ctx.lane_valid & ~out.is_jump
+        out.hit = out.hit | sel
+        # The scalar lookup predicts taken on every non-jump slot; the
+        # kernel predicts not-taken on the same slots.
+        out.taken = np.where(sel, False, out.taken)
+        return out
+
+    def mutates(self, ctx):
+        import numpy as np
+
+        return np.zeros(ctx.P, dtype=bool)
+
+    def commit(self, ctx, accepted):
+        pass
+
+
+class KernelLiar(_Base):
+    """CON009: advertises a columnar kernel whose batched lookup inverts
+    every direction the scalar lookup predicts, so the batch-kernel replay
+    path would silently diverge from the scalar walker."""
+
+    def __init__(self, name, latency):
+        super().__init__(name, latency)
+
+    def lookup(self, req, predict_in):
+        out = predict_in[0].copy()
+        for slot in out.slots:
+            if slot.is_jump:
+                continue
+            slot.hit = True
+            slot.taken = True
+        return out, 0
+
+    def columnar_kernel(self):
+        return _InvertingKernel(self)
+
+
 class MiscountedMeta(_Base):
     """TOP003: declares fewer meta_bits than its codec actually packs."""
 
@@ -175,4 +222,5 @@ VIOLATIONS = {
     "CON006": ("BADSTORE", WrongStorage),
     "CON007": ("FLAKY", Flaky),
     "CON008": ("BRLEARN", BranchlessLearner),
+    "CON009": ("KLIAR", KernelLiar),
 }

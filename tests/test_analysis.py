@@ -222,7 +222,7 @@ class TestDiagnosticsModel:
     def test_rule_catalog_covers_every_emitted_code(self):
         assert set(RULES) == {
             *(f"TOP{n:03d}" for n in range(8)),
-            *(f"CON{n:03d}" for n in range(1, 9)),
+            *(f"CON{n:03d}" for n in range(1, 10)),
             *(f"RPR{n:03d}" for n in range(1, 5)),
         }
 

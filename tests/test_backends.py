@@ -26,7 +26,9 @@ from repro.backends.replay import drive_columns, trace_packets, trace_stream
 from repro.backends.trace import TraceBackend
 from repro.components.library import standard_library
 from repro.core.composer import ComposerConfig, compose
+from repro.core.interface import PredictorComponent, StorageReport
 from repro.eval.runner import run_workload
+from repro.kernels.engine import TraceColumns, engine_for
 from repro.eval.tracesim import TraceResult
 from repro.isa.program import Program
 from repro.workloads.micro import build_micro
@@ -251,6 +253,150 @@ class TestRoundTrip:
 # ----------------------------------------------------------------------
 # Metrics semantics
 # ----------------------------------------------------------------------
+# ----------------------------------------------------------------------
+# Batch-kernel segment engine: cut edge cases
+# ----------------------------------------------------------------------
+class _NotTakenKernel:
+    """Columnar twin of :class:`_NotTaken` (always predicts not-taken)."""
+
+    def __init__(self, component):
+        self.c = component
+
+    def lookup(self, ctx, state):
+        out = state.copy()
+        sel = ctx.lane_valid & ~out.is_jump
+        out.hit = out.hit | sel
+        out.taken = np.where(sel, False, out.taken)
+        return out
+
+    def mutates(self, ctx):
+        return np.zeros(ctx.P, dtype=bool)
+
+    def commit(self, ctx, accepted):
+        pass
+
+
+class _NotTaken(PredictorComponent):
+    """Stateless always-not-taken: every taken branch mispredicts."""
+
+    def lookup(self, req, predict_in):
+        out = predict_in[0].copy()
+        for slot in out.slots:
+            if slot.is_jump:
+                continue
+            slot.hit = True
+            slot.taken = False
+        return out, 0
+
+    def storage(self):
+        return StorageReport(self.name, sram_bits=0)
+
+    def columnar_kernel(self):
+        return _NotTakenKernel(self)
+
+
+class TestKernelSegmentEdges:
+    def test_zero_length_segment_when_first_packet_mispredicts(
+        self, micro_program
+    ):
+        """An attempt whose first packet is impure accepts nothing and has
+        no side effects — the driver walks that packet scalar instead."""
+        trace = capture_trace(
+            build_micro("steady_loop", scale=0.2), max_instructions=BUDGET
+        )
+        predictor = presets.build("b2")
+        engine = engine_for(predictor)
+        assert engine is not None
+        cols = TraceColumns.from_trace(trace)
+        bi, pc, remaining = 0, trace.entry_pc, BUDGET
+        seg = engine.run(cols, pc, bi, min(64, cols.n_records), remaining)
+        guard = 0
+        while seg.packets and not seg.impure_next and guard < 100:
+            bi += seg.records
+            pc = seg.next_pc
+            remaining -= seg.instructions
+            seg = engine.run(
+                cols, pc, bi, min(64, cols.n_records - bi), remaining
+            )
+            guard += 1
+        # The engine stopped right before a known-impure packet (a cold
+        # bimodal mispredicts steady_loop's first taken back-edge).
+        assert seg.impure_next
+        if seg.packets:
+            bi += seg.records
+            pc = seg.next_pc
+            remaining -= seg.instructions
+        before = predictor.stats.predictions
+        again = engine.run(cols, pc, bi, min(64, cols.n_records - bi), remaining)
+        assert (again.packets, again.records, again.instructions) == (0, 0, 0)
+        assert again.branches == 0
+        assert again.impure_next
+        # A zero-accept attempt must not move any counter or table.
+        assert predictor.stats.predictions == before
+
+    @pytest.mark.parametrize("window", [1, 2, 3, 8])
+    def test_segment_against_no_replay_window_boundary(self, window):
+        """Stale no-replay windows gate the engine; for every corruption
+        window length the kernel walk, the scalar columnar walk, and the
+        full stream walk agree bit for bit — including segments that end
+        exactly where a window opens or closes."""
+        trace = capture_trace(
+            build_micro("counted_loops", scale=0.2), max_instructions=BUDGET
+        )
+        sigs = []
+        stale = []
+        for mode in ("kernel", "scalar", "stream"):
+            predictor = presets.build(
+                "b2",
+                ghist_repair_mode="no_replay",
+                ghist_corruption_window=window,
+            )
+            packets = trace_packets(trace, predictor.config.fetch_width)
+            if mode == "stream":
+                w = drive_stream(
+                    predictor, trace_stream(trace, BUDGET), packets
+                )
+            else:
+                engine = engine_for(predictor) if mode == "kernel" else None
+                w = drive_columns(predictor, trace, packets, BUDGET, engine=engine)
+            sigs.append((w.instructions, w.branches, w.mispredicts))
+            stale.append(predictor.stats.stale_history_queries)
+        assert sigs[0] == sigs[1] == sigs[2], f"window={window}"
+        assert stale[0] == stale[1] == stale[2], f"window={window}"
+        assert stale[0] > 0
+
+    def test_all_mispredicts_degrade_to_scalar_without_double_counting(self):
+        """When (nearly) every branch mispredicts, every attempt cuts at
+        its first packet; the driver must fall back to the scalar walk
+        with identical instruction/branch/mispredict accounting."""
+        trace = capture_trace(
+            build_micro("steady_loop", scale=0.2), max_instructions=BUDGET
+        )
+
+        def build():
+            library = standard_library().with_params(
+                "NT", lambda name, lat: _NotTaken(name, lat)
+            )
+            return compose("NT2", library, ComposerConfig())
+
+        results = []
+        for use_engine in (True, False):
+            predictor = build()
+            engine = engine_for(predictor) if use_engine else None
+            if use_engine:
+                assert engine is not None
+            packets = trace_packets(trace, predictor.config.fetch_width)
+            w = drive_columns(predictor, trace, packets, BUDGET, engine=engine)
+            results.append((w.instructions, w.branches, w.mispredicts))
+        assert results[0] == results[1]
+        instructions, branches, mispredicts = results[0]
+        assert branches > 0
+        # steady_loop back-edges are taken: an always-not-taken payload
+        # mispredicts nearly everything.
+        assert mispredicts >= 0.9 * branches
+        assert instructions <= BUDGET
+
+
 class TestMetrics:
     def test_trace_result_mpki_is_per_instruction(self):
         result = TraceResult(branches=200, mispredicts=10, instructions=4000)
