@@ -1,0 +1,245 @@
+"""Load benchmark for the evaluation service (``repro serve``).
+
+Starts a real in-process :class:`EvalService` (spawned worker processes,
+fresh result cache) and drives it with an asyncio load generator — N
+concurrent clients, each a full HTTP round trip per request — through
+three phases:
+
+1. **cold** — every spec is novel: jobs execute on the worker pool.
+2. **warm** — the identical spec set resubmitted: every job must be served
+   from the result cache without touching a worker, and the mean warm
+   round trip must be >= 50x faster than the mean cold one.
+3. **dedup** — many concurrent submissions of one novel spec: the service
+   must coalesce them onto a single execution.
+
+The acceptance asserts run in the full configuration only; ``--quick``
+(CI smoke) keeps the phases but relaxes nothing is asserted beyond
+correct dedup/warm-hit *behavior*, so a slow shared runner cannot flake
+the ratio check.
+
+Run directly (``python benchmarks/bench_service.py [--quick]``) or via
+pytest.  Results land in ``benchmarks/results/service.json|txt``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service import EvalService, ServiceConfig  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL_PREDICTORS = ["b2", "tage_l", "tourney"]
+FULL_WORKLOADS = ["pattern_long", "dispatch", "biased"]
+QUICK_PREDICTORS = ["b2"]
+QUICK_WORKLOADS = ["biased", "dispatch"]
+
+
+def _specs(quick: bool):
+    predictors = QUICK_PREDICTORS if quick else FULL_PREDICTORS
+    workloads = QUICK_WORKLOADS if quick else FULL_WORKLOADS
+    max_instructions = 20_000 if quick else 150_000
+    return [
+        {
+            "predictor": predictor,
+            "workload": workload,
+            "backend": "trace",
+            "scale": 0.4,
+            "max_instructions": max_instructions,
+        }
+        for predictor in predictors
+        for workload in workloads
+    ]
+
+
+async def _submit_and_wait(client: ServiceClient, spec) -> dict:
+    """One client: submit, long-poll to terminal, return timing + view."""
+    t0 = time.perf_counter()
+    view = await client.submit(spec)
+    if view["state"] not in ("done", "failed"):
+        view = await client.wait_job(view["id"], timeout=600.0)
+    elapsed = time.perf_counter() - t0
+    if view["state"] != "done":
+        raise RuntimeError(f"job failed: {view.get('error')}")
+    return {"seconds": elapsed, "view": view}
+
+
+async def _phase(client: ServiceClient, specs, clients: int) -> dict:
+    """Run one phase: `clients` concurrent submitters draining `specs`."""
+    queue: asyncio.Queue = asyncio.Queue()
+    for spec in specs:
+        queue.put_nowait(spec)
+    outcomes = []
+
+    async def submitter():
+        while True:
+            try:
+                spec = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            outcomes.append(await _submit_and_wait(client, spec))
+
+    t0 = time.perf_counter()
+    await asyncio.gather(*(submitter() for _ in range(clients)))
+    wall = time.perf_counter() - t0
+    latencies = sorted(o["seconds"] for o in outcomes)
+    return {
+        "jobs": len(outcomes),
+        "wall_seconds": wall,
+        "throughput_jobs_per_s": len(outcomes) / wall if wall else None,
+        "latency_mean_s": statistics.mean(latencies),
+        "latency_p50_s": latencies[len(latencies) // 2],
+        "latency_max_s": latencies[-1],
+        "cache_hits": sum(1 for o in outcomes if o["view"]["cache_hit"]),
+        "coalesced": sum(1 for o in outcomes if o["view"]["coalesced"]),
+        "outcomes": outcomes,
+    }
+
+
+async def _run(quick: bool, clients: int, copies: int) -> dict:
+    specs = _specs(quick)
+    dedup_spec = {**specs[0], "max_instructions": 400_000, "scale": 0.5}
+    with tempfile.TemporaryDirectory() as tmp:
+        service = EvalService(
+            ServiceConfig(
+                port=0, workers=2, cache_dir=str(Path(tmp) / "cache"), quiet=True
+            )
+        )
+        serve_task = asyncio.create_task(service.serve())
+        while service._server is None:
+            await asyncio.sleep(0.01)
+        port = service._server.sockets[0].getsockname()[1]
+        client = ServiceClient(port=port, timeout=600.0)
+
+        cold = await _phase(client, specs, clients)
+        warm = await _phase(client, specs, clients)
+
+        # Dedup: `copies` concurrent submissions of one novel (heavy) spec.
+        before = (await client.metrics())["executions"]
+        dedup = await _phase(client, [dedup_spec] * copies, copies)
+        executions = (await client.metrics())["executions"] - before
+
+        metrics = await client.metrics()
+        service.request_shutdown()
+        exit_code = await serve_task
+
+    for phase in (cold, warm, dedup):
+        phase.pop("outcomes")
+    return {
+        "quick": quick,
+        "clients": clients,
+        "spec_count": len(specs),
+        "dedup_copies": copies,
+        "phases": {"cold": cold, "warm": warm, "dedup": dedup},
+        "dedup_executions": executions,
+        "warm_speedup": cold["latency_mean_s"] / warm["latency_mean_s"],
+        "serve_exit_code": exit_code,
+        "metrics": metrics,
+    }
+
+
+def _render(report: dict) -> str:
+    phases = report["phases"]
+    lines = [
+        f"service load benchmark: {report['spec_count']} specs, "
+        f"{report['clients']} concurrent clients, workers=2, trace backend",
+        "",
+        f"{'phase':8s} {'jobs':>5s} {'wall (s)':>9s} {'jobs/s':>8s} "
+        f"{'mean (ms)':>10s} {'p50 (ms)':>9s} {'max (ms)':>9s} "
+        f"{'hits':>5s} {'coal':>5s}",
+        "-" * 75,
+    ]
+    for name in ("cold", "warm", "dedup"):
+        p = phases[name]
+        lines.append(
+            f"{name:8s} {p['jobs']:5d} {p['wall_seconds']:9.3f} "
+            f"{p['throughput_jobs_per_s']:8.1f} "
+            f"{p['latency_mean_s'] * 1000:10.2f} "
+            f"{p['latency_p50_s'] * 1000:9.2f} "
+            f"{p['latency_max_s'] * 1000:9.2f} "
+            f"{p['cache_hits']:5d} {p['coalesced']:5d}"
+        )
+    m = report["metrics"]
+    lines += [
+        "",
+        f"warm speedup: {report['warm_speedup']:.1f}x "
+        f"(mean cold / mean warm round trip; target >= 50x)",
+        f"dedup: {report['dedup_copies']} concurrent identical submissions "
+        f"-> {report['dedup_executions']} execution(s), "
+        f"{phases['dedup']['coalesced']} coalesced",
+        f"server counters: executions={m['executions']} "
+        f"cache_hits={m['cache_hits']} dedup_coalesced={m['dedup_coalesced']} "
+        f"shed={m['jobs_shed']} worker_restarts={m['worker_restarts']}",
+        f"clean drain on shutdown: exit code {report['serve_exit_code']}",
+    ]
+    return "\n".join(lines)
+
+
+def run_benchmark(quick: bool = False, clients: int = 8, copies: int = 8):
+    report = asyncio.run(_run(quick, clients, copies))
+    # Behavior must hold at any speed; the latency ratio only on the
+    # full configuration (quick CI runners are too noisy to gate on it).
+    assert report["serve_exit_code"] == 0
+    assert report["phases"]["warm"]["cache_hits"] == report["spec_count"], (
+        "warm phase was not served entirely from cache"
+    )
+    assert report["dedup_executions"] == 1, (
+        f"{report['dedup_copies']} identical submissions took "
+        f"{report['dedup_executions']} executions, expected 1"
+    )
+    assert report["phases"]["dedup"]["coalesced"] == copies - 1
+    if not quick:
+        assert report["warm_speedup"] >= 50.0, (
+            f"warm hits only {report['warm_speedup']:.1f}x faster than cold "
+            f"(target >= 50x)"
+        )
+    return report
+
+
+def test_service_load(report):
+    outcome = run_benchmark(quick=False)
+    (RESULTS_DIR / "service.json").write_text(
+        json.dumps(outcome, indent=2, sort_keys=True) + "\n"
+    )
+    report("service", _render(outcome))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small suite, behavioral asserts only (CI smoke)",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--copies", type=int, default=8)
+    parser.add_argument(
+        "--no-write", action="store_true", help="print only, skip results/"
+    )
+    args = parser.parse_args()
+    outcome = run_benchmark(
+        quick=args.quick, clients=args.clients, copies=args.copies
+    )
+    text = _render(outcome)
+    print(text)
+    if not args.quick and not args.no_write:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / "service.txt").write_text(text + "\n")
+        (RESULTS_DIR / "service.json").write_text(
+            json.dumps(outcome, indent=2, sort_keys=True) + "\n"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

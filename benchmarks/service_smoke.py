@@ -1,0 +1,189 @@
+"""CI smoke test for the evaluation service (the `service-smoke` job).
+
+Exercises the service exactly the way an operator would — real
+subprocesses, real signals, the shipped CLI — and asserts the three
+properties the service exists to provide:
+
+1. **Dedup + warm hits**: a duplicate batch submitted via ``repro submit
+   --copies 2`` coalesces onto one execution, and resubmitting the same
+   specs is served entirely from the result cache.
+2. **Worker-death robustness**: SIGKILLing a worker mid-job restarts the
+   pool and the job still completes (bounded retry, ``worker_restarts``
+   counted).
+3. **Graceful drain**: SIGTERM exits 0 with a drain message and no
+   abandoned jobs.
+
+Everything observed (submit JSON, metrics snapshots, the server log) is
+written to ``--out-dir`` so CI can upload it as an artifact.
+
+Usage: ``python benchmarks/service_smoke.py [--out-dir service-artifacts]``
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.service.client import ServiceClient  # noqa: E402
+
+CHECKS = []
+
+
+def check(name: str, condition: bool, detail: str = "") -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"[{status}] {name}" + (f" ({detail})" if detail else ""), flush=True)
+    CHECKS.append({"name": name, "ok": bool(condition), "detail": detail})
+    if not condition:
+        raise SystemExit(f"smoke check failed: {name} {detail}")
+
+
+def wait_for_port_file(path: Path, process, timeout: float = 60.0) -> int:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if process.poll() is not None:
+            raise SystemExit(
+                f"server exited early with code {process.returncode}"
+            )
+        if path.is_file() and path.read_text().strip():
+            return int(path.read_text().strip())
+        time.sleep(0.05)
+    raise SystemExit(f"server did not write {path} within {timeout}s")
+
+
+def run_submit(port_file: Path, *extra: str) -> dict:
+    command = [
+        sys.executable, "-m", "repro", "submit",
+        "--port-file", str(port_file),
+        "--predictors", "b2",
+        "--workloads", "biased", "dispatch",
+        "--backend", "trace",
+        "--max-instructions", "20000",
+        "--json",
+        *extra,
+    ]
+    completed = subprocess.run(
+        command, capture_output=True, text=True, timeout=300
+    )
+    if completed.returncode != 0:
+        raise SystemExit(
+            f"repro submit failed ({completed.returncode}):\n"
+            f"{completed.stdout}\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout)
+
+
+async def kill_worker_leg(port: int) -> dict:
+    """Submit a long job, SIGKILL the worker running it, assert recovery."""
+    client = ServiceClient(port=port, timeout=120.0)
+    spec = {
+        "predictor": "tage_l",
+        "workload": "pattern_long",
+        "backend": "trace",
+        "max_instructions": 800_000,
+    }
+    view = await client.submit(spec)
+    job_id = view["id"]
+    deadline = time.monotonic() + 60.0
+    while (await client.job(job_id))["state"] == "queued":
+        if time.monotonic() > deadline:
+            raise SystemExit("job never started running")
+        await asyncio.sleep(0.02)
+    pids = (await client.healthz())["worker_pids"]
+    check("workers alive before kill", len(pids) >= 1, f"pids={pids}")
+    os.kill(pids[0], signal.SIGKILL)
+    print(f"killed worker {pids[0]} mid-job", flush=True)
+    final = await client.wait_job(job_id, timeout=120.0)
+    metrics = await client.metrics()
+    health = await client.healthz()
+    check("job survived worker death", final["state"] == "done",
+          f"attempts={final['attempts']}")
+    check("pool restarted", metrics["worker_restarts"] >= 1,
+          f"restarts={metrics['worker_restarts']} "
+          f"generation={health['worker_generation']}")
+    return {"final": final, "metrics": metrics, "healthz": health}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out-dir", default="service-artifacts")
+    args = parser.parse_args()
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    artifacts: dict = {}
+
+    with tempfile.TemporaryDirectory() as tmp:
+        port_file = Path(tmp) / "port.txt"
+        server_log = open(out_dir / "serve.log", "w")
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--port", "0",
+                "--port-file", str(port_file),
+                "--workers", "2",
+                "--cache", str(Path(tmp) / "cache"),
+            ],
+            stdout=server_log,
+            stderr=subprocess.STDOUT,
+        )
+        try:
+            port = wait_for_port_file(port_file, server)
+            print(f"server up on port {port} (pid {server.pid})", flush=True)
+
+            # Leg 1: duplicate batch -> coalesced, one execution per cell.
+            first = run_submit(port_file, "--copies", "2")
+            artifacts["submit_duplicates"] = first
+            jobs = first["jobs"]
+            coalesced = sum(1 for j in jobs if j["coalesced"])
+            check("duplicate submissions coalesced",
+                  coalesced == len(jobs) // 2,
+                  f"{coalesced}/{len(jobs)} coalesced")
+            check("all batch jobs completed",
+                  all(j["state"] == "done" for j in jobs))
+            check("one execution per distinct spec",
+                  first["metrics"]["executions"] == len(jobs) // 2,
+                  f"executions={first['metrics']['executions']}")
+
+            # Leg 2: identical resubmission -> pure warm cache hits.
+            second = run_submit(port_file)
+            artifacts["submit_warm"] = second
+            check("resubmission served from cache",
+                  all(j["cache_hit"] for j in second["jobs"]),
+                  f"hit_rate={second['metrics']['cache_hit_rate']:.2f}")
+            check("warm hits executed nothing new",
+                  second["metrics"]["executions"]
+                  == first["metrics"]["executions"])
+
+            # Leg 3: kill a worker mid-job; the job must still complete.
+            artifacts["worker_kill"] = asyncio.run(kill_worker_leg(port))
+
+            # Leg 4: SIGTERM -> graceful drain, exit 0.
+            server.send_signal(signal.SIGTERM)
+            code = server.wait(timeout=60)
+            check("SIGTERM drained cleanly", code == 0, f"exit={code}")
+        finally:
+            if server.poll() is None:
+                server.kill()
+            server_log.close()
+
+    log_text = (out_dir / "serve.log").read_text()
+    check("drain logged", "drain complete" in log_text)
+    artifacts["checks"] = CHECKS
+    (out_dir / "service_smoke.json").write_text(
+        json.dumps(artifacts, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"smoke artifacts in {out_dir}/", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,10 @@ Commands
 - ``check``    — static analysis: topology, component contracts, lints.
 - ``fuzz``     — differential fuzzing: run a campaign or replay a
   minimized reproducer artifact (see ``docs/fuzzing.md``).
+- ``serve``    — run the long-lived evaluation service (asyncio HTTP job
+  server over the parallel engine; see ``docs/service.md``).
+- ``submit``   — submit evaluation jobs to a running service and report
+  per-job results, warm-hit and dedup counts.
 
 ``run`` and ``sweep`` take ``--backend {cycle,trace,replay}`` to pick the
 execution methodology (see ``docs/backends.md``); workloads are named
@@ -367,6 +371,115 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_dir=None if args.no_cache else args.cache,
+        high_water=args.high_water,
+        max_retries=args.retries,
+        port_file=args.port_file,
+        quiet=args.quiet,
+    )
+    if config.cache_dir is None and not args.no_cache:
+        # Warm-cache hits are the point of running a service; default to a
+        # private cache directory rather than silently recomputing.
+        import tempfile
+
+        config.cache_dir = tempfile.mkdtemp(prefix="repro-service-cache-")
+        if not args.quiet:
+            print(f"result cache: {config.cache_dir} (pass --cache DIR to pin)")
+    return asyncio.run(serve(config))
+
+
+def _cmd_submit(args) -> int:
+    import asyncio
+    import json
+
+    from repro.service.client import ServiceClient, ServiceClientError
+
+    port = args.port
+    if args.port_file is not None:
+        port = int(Path(args.port_file).read_text().strip())
+
+    specs = []
+    for predictor in args.predictors:
+        for workload in args.workloads:
+            spec = {
+                "predictor": predictor,
+                "workload": workload,
+                "backend": args.backend,
+                "scale": args.scale,
+            }
+            if args.max_instructions is not None:
+                spec["max_instructions"] = args.max_instructions
+            specs.extend([dict(spec)] * args.copies)
+
+    async def drive():
+        client = ServiceClient(host=args.host, port=port, timeout=args.timeout)
+        response = await client.submit_batch(specs)
+        views = response["jobs"]
+        if args.wait:
+            views = [
+                await client.wait_job(v["id"], timeout=args.timeout)
+                if v.get("state") not in ("done", "failed", "shed")
+                else v
+                for v in views
+            ]
+        return views, await client.metrics()
+
+    try:
+        views, metrics = asyncio.run(drive())
+    except ServiceClientError as error:
+        print(f"submit failed: {error}", file=sys.stderr)
+        if error.retry_after is not None:
+            print(f"retry after {error.retry_after:g}s", file=sys.stderr)
+        return 1
+    except (ConnectionError, OSError) as error:
+        print(f"cannot reach service at {args.host}:{port}: {error}",
+              file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps({"jobs": views, "metrics": metrics}, indent=2,
+                         sort_keys=True))
+    else:
+        for view in views:
+            spec = view.get("spec", {})
+            tags = [t for t, on in (("cache-hit", view.get("cache_hit")),
+                                    ("coalesced", view.get("coalesced")))
+                    if on]
+            line = (
+                f"{view.get('id', '-'):>12s} {view['state']:7s} "
+                f"{spec.get('predictor', '?'):12s} {spec.get('workload', '?'):14s}"
+            )
+            result = view.get("result")
+            if result is not None:
+                line += f" mpki={result['mpki']:7.2f}"
+            if view.get("latency_seconds") is not None:
+                line += f" {view['latency_seconds'] * 1000.0:8.1f}ms"
+            if tags:
+                line += f"  [{', '.join(tags)}]"
+            if view.get("error"):
+                line += f"  error: {view['error']}"
+            print(line)
+        print(
+            f"submitted={len(views)} "
+            f"cache_hits={sum(1 for v in views if v.get('cache_hit'))} "
+            f"coalesced={sum(1 for v in views if v.get('coalesced'))} "
+            f"shed={sum(1 for v in views if v['state'] == 'shed')} "
+            f"(server: executions={metrics['executions']} "
+            f"hit_rate={metrics['cache_hit_rate']})"
+        )
+    failed = [v for v in views if v["state"] in ("failed", "shed")]
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -550,6 +663,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_repro.add_argument("reproducer", help="reproducer .npz path")
     fuzz_repro.set_defaults(func=_cmd_fuzz)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived evaluation service (HTTP job server)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="listen port (0 = pick a free port; see "
+                            "--port-file)")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="worker processes for cold jobs")
+    serve.add_argument("--cache", default=None, metavar="DIR",
+                       help="result-cache directory (default: a fresh "
+                            "private temp dir)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache entirely")
+    serve.add_argument("--high-water", type=int, default=64,
+                       help="backlog bound before submissions are shed "
+                            "with 429")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="per-job requeues after a worker death")
+    serve.add_argument("--port-file", default=None, metavar="PATH",
+                       help="write the bound port here once listening "
+                            "(for --port 0 orchestration)")
+    serve.add_argument("--quiet", action="store_true")
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit evaluation jobs to a running service"
+    )
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8765)
+    submit.add_argument("--port-file", default=None, metavar="PATH",
+                        help="read the port from this file (written by "
+                             "`repro serve --port-file`)")
+    submit.add_argument("--predictors", nargs="+", default=["tourney"],
+                        help="preset names or topology strings")
+    submit.add_argument("--workloads", nargs="+", default=["biased"],
+                        help="registered workload names or .npz paths")
+    submit.add_argument("--backend", default="cycle", choices=BACKEND_NAMES)
+    submit.add_argument("--scale", type=float, default=0.5)
+    submit.add_argument("--max-instructions", type=int, default=None)
+    submit.add_argument("--copies", type=int, default=1,
+                        help="submit each job N times in one batch "
+                             "(duplicates coalesce server-side)")
+    submit.add_argument("--no-wait", dest="wait", action="store_false",
+                        help="return job ids immediately instead of "
+                             "long-polling for results")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="overall wait budget per job (seconds)")
+    submit.add_argument("--json", action="store_true",
+                        help="emit machine-readable job views + a metrics "
+                             "snapshot")
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

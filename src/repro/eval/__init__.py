@@ -10,7 +10,7 @@ trace-driven software-simulator methodology the paper argues *against*
 
 from repro.eval.cache import ResultCache
 from repro.eval.metrics import RunResult, harmonic_mean
-from repro.eval.parallel import EvalJob, ParallelRunner
+from repro.eval.parallel import EvalJob, ParallelRunner, job_cache_key
 from repro.eval.runner import run_workload, run_suite
 from repro.eval.tracesim import TraceSimulator, trace_accuracy
 from repro.eval.comparison import EvaluatedSystem, evaluated_systems
@@ -36,6 +36,7 @@ __all__ = [
     "ResultCache",
     "EvalJob",
     "ParallelRunner",
+    "job_cache_key",
     "RunResult",
     "harmonic_mean",
     "run_workload",

@@ -96,6 +96,33 @@ def _execute_job(job: EvalJob) -> RunResult:
     )
 
 
+def job_cache_key(job: EvalJob) -> str:
+    """The deterministic result-cache key for one job.
+
+    Shared by :class:`ParallelRunner` and the evaluation service
+    (:mod:`repro.service`), so an HTTP job submission, a CLI sweep, and a
+    warm cache entry written by either all agree on what "the same run"
+    means.  Building the key builds the predictor once (fingerprints hash
+    behaviour-bearing state, not names).
+    """
+    trace_digest = (
+        result_cache.trace_file_digest(job.trace_path)
+        if job.trace_path is not None
+        else None
+    )
+    fingerprint = result_cache.job_fingerprint(
+        build_predictor(job.spec),
+        job.program,
+        job.core_config,
+        job.max_instructions,
+        job.max_cycles,
+        backend=job.backend,
+        trace_digest=trace_digest,
+        workload=job.workload,
+    )
+    return result_cache.fingerprint_key(fingerprint)
+
+
 def _is_picklable(job: EvalJob) -> bool:
     try:
         pickle.dumps(job)
@@ -181,22 +208,7 @@ class ParallelRunner:
             self.progress(job.system, job.workload)
 
     def _key_for(self, job: EvalJob) -> str:
-        trace_digest = (
-            result_cache.trace_file_digest(job.trace_path)
-            if job.trace_path is not None
-            else None
-        )
-        fingerprint = result_cache.job_fingerprint(
-            build_predictor(job.spec),
-            job.program,
-            job.core_config,
-            job.max_instructions,
-            job.max_cycles,
-            backend=job.backend,
-            trace_digest=trace_digest,
-            workload=job.workload,
-        )
-        return result_cache.fingerprint_key(fingerprint)
+        return job_cache_key(job)
 
     def _run_parallel(
         self,

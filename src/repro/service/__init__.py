@@ -1,0 +1,61 @@
+"""Evaluation-as-a-service: an asyncio job server over the parallel engine.
+
+``repro serve`` turns the one-shot evaluation layer (``run_suite`` /
+``evaluate_designs``, PR 1's process fan-out + content-hashed result
+cache) into a long-lived HTTP service: clients POST declarative job specs,
+the server normalizes each spec to the *same* cache key the CLI sweeps
+use, serves warm hits in O(ms) without touching a worker, coalesces
+identical in-flight requests onto one execution, sheds load past a
+high-water mark with 429 + ``Retry-After``, and executes cold jobs on a
+``ProcessPoolExecutor`` pool that survives worker death (respawn +
+bounded requeue).  Stdlib only — asyncio, a ~40-line HTTP/1.1 reader, and
+JSON bodies.
+
+Modules
+-------
+- :mod:`repro.service.protocol` — job-spec schema, validation, and the
+  normalization into :class:`~repro.eval.parallel.EvalJob` + cache key.
+- :mod:`repro.service.metrics` — counters and log2 latency histograms
+  behind ``GET /metrics`` (telemetry-package counter idiom).
+- :mod:`repro.service.pool` — the respawning worker pool.
+- :mod:`repro.service.queue` — admission: warm hit / coalesce / shed /
+  enqueue, plus the dispatcher tasks and graceful drain.
+- :mod:`repro.service.server` — the HTTP front-end and lifecycle
+  (``serve``, SIGTERM drain).
+- :mod:`repro.service.client` — the stdlib asyncio client the CLI, the
+  load generator, and the tests share.
+
+See ``docs/service.md`` for the schema, endpoint catalog, metrics
+reference, and deployment notes.
+"""
+
+from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.metrics import LatencyHistogram, ServiceMetrics
+from repro.service.pool import WorkerPool, WorkerPoolBroken
+from repro.service.protocol import (
+    JobSpec,
+    ProtocolError,
+    parse_job_spec,
+    parse_jobs_body,
+)
+from repro.service.queue import JobTable, QueueFull, ServiceDraining
+from repro.service.server import EvalService, ServiceConfig, serve
+
+__all__ = [
+    "EvalService",
+    "JobSpec",
+    "JobTable",
+    "LatencyHistogram",
+    "ProtocolError",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceConfig",
+    "ServiceDraining",
+    "ServiceMetrics",
+    "WorkerPool",
+    "WorkerPoolBroken",
+    "parse_job_spec",
+    "parse_jobs_body",
+    "serve",
+]

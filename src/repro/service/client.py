@@ -1,0 +1,120 @@
+"""Asyncio client for the evaluation service.
+
+One connection per request (the server speaks ``Connection: close``), pure
+stdlib.  Used by the ``repro submit`` CLI verb, the service load generator
+(``benchmarks/bench_service.py``), the CI smoke script, and the tests — so
+every consumer exercises exactly the wire protocol a third-party client
+would.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class ServiceClientError(RuntimeError):
+    """A non-2xx response (status and decoded body attached)."""
+
+    def __init__(self, status: int, payload: Any, headers: Dict[str, str]):
+        message = (
+            payload.get("error") if isinstance(payload, dict) else None
+        ) or f"HTTP {status}"
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+        self.headers = headers
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        value = self.headers.get("retry-after")
+        try:
+            return float(value) if value is not None else None
+        except ValueError:  # pragma: no cover - server always sends numbers
+            return None
+
+
+@dataclass
+class ServiceClient:
+    """Minimal HTTP/1.1 JSON client bound to one service address."""
+
+    host: str = "127.0.0.1"
+    port: int = 8765
+    timeout: float = 60.0
+
+    async def request(
+        self, method: str, path: str, body: Any = None
+    ) -> Tuple[int, Any, Dict[str, str]]:
+        """One round trip; returns (status, decoded JSON, headers)."""
+        payload = b""
+        if body is not None:
+            payload = json.dumps(body).encode()
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), self.timeout)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - peer reset
+                pass
+        header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+        lines = header_blob.decode("latin-1").split("\r\n")
+        status = int(lines[0].split()[1])
+        headers = {}
+        for line in lines[1:]:
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        decoded = json.loads(body_blob.decode()) if body_blob else None
+        return status, decoded, headers
+
+    async def _checked(self, method: str, path: str, body: Any = None) -> Any:
+        status, payload, headers = await self.request(method, path, body)
+        if status >= 400:
+            raise ServiceClientError(status, payload, headers)
+        return payload
+
+    # ------------------------------------------------------------------
+    async def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """POST one job spec; returns the job view."""
+        return await self._checked("POST", "/jobs", spec)
+
+    async def submit_batch(self, specs: List[Dict[str, Any]]) -> Dict[str, Any]:
+        """POST a batch; returns ``{"jobs": [...], "accepted": n}``."""
+        return await self._checked("POST", "/jobs", {"jobs": specs})
+
+    async def job(self, job_id: str) -> Dict[str, Any]:
+        return await self._checked("GET", f"/jobs/{job_id}")
+
+    async def wait_job(
+        self, job_id: str, timeout: float = 300.0
+    ) -> Dict[str, Any]:
+        """Long-poll until the job is terminal (re-polls on server timeout)."""
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not terminal after {timeout}s")
+            step = min(remaining, 30.0)
+            view = await self._checked(
+                "GET", f"/jobs/{job_id}?wait=1&timeout={step:g}"
+            )
+            if view["state"] in ("done", "failed"):
+                return view
+
+    async def healthz(self) -> Dict[str, Any]:
+        return await self._checked("GET", "/healthz")
+
+    async def metrics(self) -> Dict[str, Any]:
+        return await self._checked("GET", "/metrics")

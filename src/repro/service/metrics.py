@@ -1,0 +1,144 @@
+"""Service metrics: counters, gauges, and per-backend latency histograms.
+
+Follows the telemetry package's counter idiom (a ``__slots__``-pinned
+counter record with an explicit field tuple and a dict snapshot), so the
+``GET /metrics`` payload is stable, cheap to produce, and additive —
+adding a counter means adding a name to one tuple.
+
+Latencies go into :class:`LatencyHistogram`: fixed log2 buckets over
+microseconds, so recording is O(1), the histogram never grows, and
+percentiles are read off the bucket boundaries (upper-bound estimates —
+fine for a dashboard, documented in docs/service.md).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Dict, Optional
+
+#: One event counter per slot; ``snapshot()`` mirrors this tuple exactly.
+_COUNTER_FIELDS = (
+    "jobs_submitted",
+    "jobs_completed",
+    "jobs_failed",
+    "jobs_shed",
+    "jobs_rejected",
+    "cache_hits",
+    "cache_misses",
+    "dedup_coalesced",
+    "executions",
+    "worker_restarts",
+    "worker_retries",
+    "requests",
+)
+
+#: Histogram bucket upper bounds in seconds: 31 log2 steps from 64 us to
+#: ~19 hours, plus a catch-all.  64 us resolves a warm HTTP round trip;
+#: the top end outlives any bounded simulation.
+_BUCKET_BOUNDS = tuple((1 << i) / 1_000_000.0 for i in range(6, 37))
+
+
+class LatencyHistogram:
+    """Fixed-bucket log2 latency histogram (seconds in, summary out)."""
+
+    __slots__ = ("counts", "count", "total", "max")
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(_BUCKET_BOUNDS) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.counts[bisect_left(_BUCKET_BOUNDS, seconds)] += 1
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bucket bound containing the q-quantile observation."""
+        if not self.count:
+            return None
+        rank = q * (self.count - 1)
+        seen = 0
+        for index, bucket in enumerate(self.counts):
+            seen += bucket
+            if bucket and seen > rank:
+                if index >= len(_BUCKET_BOUNDS):
+                    return self.max
+                return min(_BUCKET_BOUNDS[index], self.max)
+        return self.max
+
+    def snapshot(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "count": self.count,
+            "mean_ms": (self.total / self.count * 1000.0) if self.count else None,
+            "max_ms": self.max * 1000.0 if self.count else None,
+        }
+        for name, q in (("p50_ms", 0.5), ("p90_ms", 0.9), ("p99_ms", 0.99)):
+            value = self.quantile(q)
+            payload[name] = value * 1000.0 if value is not None else None
+        payload["buckets"] = {
+            f"le_{bound * 1000.0:g}ms": count
+            for bound, count in zip(_BUCKET_BOUNDS, self.counts)
+            if count
+        }
+        overflow = self.counts[-1]
+        if overflow:
+            payload["buckets"]["overflow"] = overflow
+        return payload
+
+
+class ServiceMetrics:
+    """Every counter the service publishes, plus per-backend latencies.
+
+    Counter semantics:
+
+    - ``jobs_submitted``: specs accepted into the job table (including
+      cache hits and coalesced followers).
+    - ``jobs_completed`` / ``jobs_failed``: terminal transitions, followers
+      included.
+    - ``jobs_shed``: submissions refused with 429 at the high-water mark.
+    - ``jobs_rejected``: submissions refused with 400 (bad spec).
+    - ``cache_hits``: served straight from the result cache, no worker.
+    - ``cache_misses``: submissions that had to consult the queue.
+    - ``dedup_coalesced``: followers attached to an identical in-flight
+      leader instead of executing.
+    - ``executions``: jobs actually handed to the worker pool.
+    - ``worker_restarts``: process-pool respawns after a worker death.
+    - ``worker_retries``: job re-submissions caused by those deaths.
+    - ``requests``: HTTP requests served (any endpoint, any status).
+    """
+
+    __slots__ = _COUNTER_FIELDS + ("latency", "cache_hit_latency")
+
+    def __init__(self) -> None:
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, 0)
+        #: Per-backend execution latency (submit -> done, cold path).
+        self.latency: Dict[str, LatencyHistogram] = {}
+        #: Warm-path latency (submit -> served from cache).
+        self.cache_hit_latency = LatencyHistogram()
+
+    def record_latency(self, backend: str, seconds: float) -> None:
+        histogram = self.latency.get(backend)
+        if histogram is None:
+            histogram = self.latency[backend] = LatencyHistogram()
+        histogram.record(seconds)
+
+    def cache_hit_rate(self) -> Optional[float]:
+        seen = self.cache_hits + self.cache_misses
+        return (self.cache_hits / seen) if seen else None
+
+    def snapshot(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            name: getattr(self, name) for name in _COUNTER_FIELDS
+        }
+        payload["cache_hit_rate"] = self.cache_hit_rate()
+        payload["latency_by_backend"] = {
+            backend: histogram.snapshot()
+            for backend, histogram in sorted(self.latency.items())
+        }
+        payload["cache_hit_latency"] = self.cache_hit_latency.snapshot()
+        return payload

@@ -1,0 +1,190 @@
+"""A worker pool that survives worker death.
+
+``concurrent.futures.ProcessPoolExecutor`` has one catastrophic failure
+mode: when any worker process dies (OOM kill, segfault, an operator's
+``kill -9``), the *whole pool* breaks — every in-flight future raises
+``BrokenProcessPool`` and the executor refuses further submissions.  A
+long-lived service cannot treat that as fatal, so :class:`WorkerPool`
+wraps the executor with a generation counter: the first caller to observe
+a broken pool of the current generation shuts it down, spawns a fresh
+executor, and bumps the generation; every other caller that raced into the
+same wreckage sees the generation already advanced and simply resubmits.
+Jobs interrupted by a worker death are retried up to ``max_retries`` times
+(they are pure functions of their inputs, so a retry is safe), then
+surfaced as :class:`WorkerPoolBroken`.
+
+Job-level exceptions (the submitted function raising) are *not* retried
+here — they are deterministic and propagate to the caller, which marks the
+job failed.  Only pool-level breakage is retried.
+
+The pool is asyncio-native: :meth:`run` awaits the executor future via
+``asyncio.wrap_future``, so dispatcher tasks stay cooperative while the
+work happens in another process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import os
+import signal
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Optional, Tuple
+
+from repro.service.metrics import ServiceMetrics
+
+
+class WorkerPoolBroken(RuntimeError):
+    """A job kept landing on dying workers past the retry budget."""
+
+
+def _worker_init() -> None:
+    """Give every worker a clean, self-contained signal setup.
+
+    Workers must never share signal plumbing with the parent's event
+    loop: a worker that inherits the loop's ``signal.set_wakeup_fd``
+    socket echoes any trappable signal it receives (notably the SIGTERM
+    ``terminate_broken`` sends to surviving workers when a sibling dies)
+    straight into the *parent's* loop, which dutifully runs the parent's
+    SIGTERM handler and gracefully drains a perfectly healthy server.
+    The spawn start method (see :meth:`WorkerPool._spawn`) already
+    guarantees a fresh interpreter, so this initializer only has to pin
+    the dispositions: default SIGTERM so ``terminate_broken`` can reap
+    the worker, ignored SIGINT so a terminal Ctrl-C reaches only the
+    parent, which owns the drain decision.
+    """
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
+def _worker_pid() -> int:
+    """Trivial priming task: forces a worker to exist, reports its pid."""
+    return os.getpid()
+
+
+class WorkerPool:
+    """Respawning ``ProcessPoolExecutor`` front-end (see module docstring).
+
+    Parameters
+    ----------
+    workers:
+        Process count per executor generation.
+    max_retries:
+        How many worker-death resubmissions one job is allowed before
+        :class:`WorkerPoolBroken` propagates.
+    metrics:
+        Optional :class:`ServiceMetrics`; ``worker_restarts`` counts
+        executor respawns, ``worker_retries`` counts job resubmissions.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        max_retries: int = 2,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.max_retries = max_retries
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._generation = 0
+        self._executor: Optional[ProcessPoolExecutor] = self._spawn()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def _spawn(self) -> ProcessPoolExecutor:
+        # The spawn start method is load-bearing, not a style choice.  A
+        # forked worker inherits the parent event loop's wakeup fd and
+        # signal handlers until the initializer runs (a window in which a
+        # signal to the worker echoes into the parent's loop), and a fork
+        # issued *while the previous generation's manager thread is mid-
+        # ``terminate_broken``* can snapshot held multiprocessing locks
+        # and deadlock the new worker before it ever runs a job.  Spawn
+        # starts workers from a fresh interpreter, eliminating both; the
+        # ~0.5 s numpy import per worker is amortized over the service's
+        # lifetime.
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_worker_init,
+        )
+
+    def _respawn(self, seen_generation: int) -> None:
+        """Replace a broken executor exactly once per generation."""
+        if self._closed or self._generation != seen_generation:
+            return  # another caller already replaced this generation
+        broken = self._executor
+        self._generation += 1
+        self._executor = self._spawn()
+        self.metrics.worker_restarts += 1
+        if broken is not None:
+            broken.shutdown(wait=False)
+
+    # ------------------------------------------------------------------
+    async def run(self, fn: Callable, *args):
+        """Execute ``fn(*args)`` in a worker, riding out worker deaths."""
+        attempts = 0
+        while True:
+            if self._closed:
+                raise WorkerPoolBroken("worker pool is shut down")
+            generation = self._generation
+            try:
+                future = self._executor.submit(fn, *args)
+            except (BrokenProcessPool, RuntimeError):
+                # Submission itself can find the pool already broken (a
+                # worker died while the pool was idle).
+                self._respawn(generation)
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise WorkerPoolBroken(
+                        f"worker pool broken at submission after "
+                        f"{attempts} attempt(s)"
+                    ) from None
+                self.metrics.worker_retries += 1
+                continue
+            try:
+                return await asyncio.wrap_future(future)
+            except BrokenProcessPool:
+                self._respawn(generation)
+                attempts += 1
+                if attempts > self.max_retries:
+                    raise WorkerPoolBroken(
+                        f"job kept landing on dying workers "
+                        f"({attempts} attempt(s)); giving up"
+                    ) from None
+                self.metrics.worker_retries += 1
+
+    # ------------------------------------------------------------------
+    async def prime(self) -> Tuple[int, ...]:
+        """Start worker processes eagerly; returns the pids that answered.
+
+        Best-effort: with idle-worker reuse a single process may serve
+        every priming task, so the tuple's length is a lower bound on the
+        live worker count.  ``/healthz`` reports the authoritative set via
+        :meth:`worker_pids`.
+        """
+        pids = await asyncio.gather(
+            *(self.run(_worker_pid) for _ in range(self.workers)),
+            return_exceptions=True,
+        )
+        return tuple(sorted({p for p in pids if isinstance(p, int)}))
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        """Live worker pids of the current executor generation."""
+        if self._executor is None:
+            return ()
+        processes = getattr(self._executor, "_processes", None) or {}
+        return tuple(sorted(processes))
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def shutdown(self) -> None:
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None

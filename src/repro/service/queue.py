@@ -1,0 +1,353 @@
+"""The job table: admission, dedup, load shedding, and dispatch.
+
+This is the heart of the service.  :meth:`JobTable.submit` admits one
+validated :class:`~repro.service.protocol.JobSpec` and decides, in one
+synchronous (no-await) block so the decision is atomic with respect to the
+event loop, which of four paths it takes:
+
+1. **Warm cache hit** — the spec normalizes to a cache key the result
+   cache already holds: the job completes immediately without touching a
+   worker.  This is the O(ms) "millions of users" path.
+2. **Coalesce** — an identical job (same cache key) is already queued or
+   running: the new job becomes a *follower* of that leader, completes
+   when the leader does, and never executes.  Duplicate in-flight
+   requests cost one execution total.
+3. **Shed** — the backlog (queued + running leaders) is at the high-water
+   mark: the submission is refused with :class:`QueueFull` (the server
+   turns it into 429 + ``Retry-After``).  Followers and cache hits are
+   never shed — they consume no worker.
+4. **Enqueue** — a cold, novel job joins the dispatch queue; one of the
+   dispatcher tasks (one per pool worker) will execute it via the
+   respawning :class:`~repro.service.pool.WorkerPool` and write the result
+   back to the cache, completing the leader and every follower at once.
+
+Spec normalization (building the predictor + workload to fingerprint
+them) is memoized on the spec's value, so repeat submissions — the whole
+point of a long-lived service — skip straight to the key lookup.
+
+The execution step is injectable (``run_job``), so tests drive the
+admission/coalescing/shedding machinery deterministically with gated
+futures instead of real processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro.eval.cache import ResultCache
+from repro.eval.metrics import RunResult
+from repro.eval.parallel import EvalJob, _execute_job
+from repro.service.metrics import ServiceMetrics
+from repro.service.pool import WorkerPool
+from repro.service.protocol import (
+    JobSpec,
+    JobView,
+    PreparedJob,
+    result_view,
+)
+
+#: ``run_job`` signature: executes one EvalJob somewhere, returns its result.
+JobRunner = Callable[[EvalJob], Awaitable[RunResult]]
+
+
+class QueueFull(RuntimeError):
+    """Backlog at the high-water mark; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, high_water: int, retry_after: float):
+        super().__init__(
+            f"job queue at high-water mark ({depth}/{high_water})"
+        )
+        self.depth = depth
+        self.high_water = high_water
+        self.retry_after = retry_after
+
+
+class ServiceDraining(RuntimeError):
+    """The server received SIGTERM and no longer admits jobs (HTTP 503)."""
+
+
+class Job:
+    """One submitted job's full lifecycle state."""
+
+    __slots__ = (
+        "id",
+        "prepared",
+        "state",
+        "cache_hit",
+        "coalesced",
+        "attempts",
+        "result",
+        "error",
+        "followers",
+        "submitted_at",
+        "submitted_mono",
+        "finished_mono",
+        "done",
+    )
+
+    def __init__(self, job_id: str, prepared: PreparedJob):
+        self.id = job_id
+        self.prepared = prepared
+        self.state = "queued"
+        self.cache_hit = False
+        self.coalesced = False
+        self.attempts = 0
+        self.result: Optional[RunResult] = None
+        self.error: Optional[str] = None
+        self.followers: List["Job"] = []
+        self.submitted_at = time.time()
+        self.submitted_mono = time.monotonic()
+        self.finished_mono: Optional[float] = None
+        self.done = asyncio.Event()
+
+    @property
+    def spec(self) -> JobSpec:
+        return self.prepared.spec
+
+    @property
+    def cache_key(self) -> str:
+        return self.prepared.cache_key
+
+    @property
+    def latency_seconds(self) -> Optional[float]:
+        if self.finished_mono is None:
+            return None
+        return self.finished_mono - self.submitted_mono
+
+    async def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job reaches a terminal state (long-poll)."""
+        if timeout is None:
+            await self.done.wait()
+            return True
+        try:
+            await asyncio.wait_for(asyncio.shield(self.done.wait()), timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
+
+    def view(self, queue_depth: int = 0) -> JobView:
+        return JobView(
+            id=self.id,
+            state=self.state,
+            spec=self.spec,
+            cache_hit=self.cache_hit,
+            coalesced=self.coalesced,
+            attempts=self.attempts,
+            error=self.error,
+            result=result_view(self.result) if self.result is not None else None,
+            submitted_at=self.submitted_at,
+            latency_seconds=self.latency_seconds,
+            queue_depth=queue_depth,
+        )
+
+
+class JobTable:
+    """Admission control + dispatch over a :class:`WorkerPool`.
+
+    Parameters
+    ----------
+    pool:
+        The respawning worker pool cold jobs execute on.
+    cache:
+        Optional :class:`ResultCache` consulted before any work is
+        scheduled and written back after every successful execution.
+    metrics:
+        Shared :class:`ServiceMetrics` (the pool should use the same one).
+    high_water:
+        Backlog bound: queued + running leaders above which submissions
+        are shed with :class:`QueueFull`.
+    run_job:
+        Override for the execution step (tests); defaults to running
+        ``_execute_job`` on the pool.
+    max_jobs:
+        Completed-job history bound; the oldest terminal jobs are evicted
+        from the id table past this point so a long-lived server's memory
+        stays flat.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[WorkerPool] = None,
+        cache: Optional[ResultCache] = None,
+        metrics: Optional[ServiceMetrics] = None,
+        high_water: int = 64,
+        run_job: Optional[JobRunner] = None,
+        max_jobs: int = 4096,
+    ):
+        self.pool = pool
+        self.cache = cache
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.high_water = high_water
+        self.max_jobs = max_jobs
+        self._run_job = run_job if run_job is not None else self._run_on_pool
+        self._jobs: Dict[str, Job] = {}
+        self._inflight: Dict[str, Job] = {}
+        self._prepared: Dict[Tuple, PreparedJob] = {}
+        self._queue: "asyncio.Queue[Optional[Job]]" = asyncio.Queue()
+        self._dispatchers: List[asyncio.Task] = []
+        self._next_id = 0
+        self.backlog = 0
+        self.draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, dispatchers: Optional[int] = None) -> None:
+        """Spawn the dispatcher tasks (call from a running event loop)."""
+        if self._dispatchers:
+            raise RuntimeError("JobTable already started")
+        count = dispatchers or (self.pool.workers if self.pool else 1)
+        self._dispatchers = [
+            asyncio.create_task(self._dispatch_loop(), name=f"dispatch-{i}")
+            for i in range(count)
+        ]
+
+    async def drain(self) -> int:
+        """Stop admitting, run the backlog dry, stop dispatchers.
+
+        Returns the number of jobs that were still in flight when the
+        drain began (all of them complete before this returns).
+        """
+        self.draining = True
+        outstanding = [job for job in self._inflight.values() if not job.done.is_set()]
+        for job in outstanding:
+            await job.done.wait()
+        for _ in self._dispatchers:
+            self._queue.put_nowait(None)
+        if self._dispatchers:
+            await asyncio.gather(*self._dispatchers, return_exceptions=True)
+        self._dispatchers = []
+        return len(outstanding)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _prepare(self, spec: JobSpec) -> PreparedJob:
+        identity = spec.normalized()
+        prepared = self._prepared.get(identity)
+        if prepared is None:
+            prepared = spec.prepare()
+            self._prepared[identity] = prepared
+        return prepared
+
+    def submit(self, spec: JobSpec) -> Job:
+        """Admit one spec (see the module docstring for the four paths)."""
+        if self.draining:
+            raise ServiceDraining("server is draining; not accepting jobs")
+        prepared = self._prepare(spec)
+        self._next_id += 1
+        job = Job(f"job-{self._next_id:06d}", prepared)
+        self.metrics.jobs_submitted += 1
+
+        if self.cache is not None:
+            cached = self.cache.get(job.cache_key)
+            if cached is not None:
+                self.metrics.cache_hits += 1
+                self._register(job)
+                self._complete(job, result=cached, cache_hit=True)
+                return job
+        self.metrics.cache_misses += 1
+
+        leader = self._inflight.get(job.cache_key)
+        if leader is not None and not leader.done.is_set():
+            job.coalesced = True
+            leader.followers.append(job)
+            self.metrics.dedup_coalesced += 1
+            self._register(job)
+            return job
+
+        if self.backlog >= self.high_water:
+            self.metrics.jobs_shed += 1
+            raise QueueFull(self.backlog, self.high_water, self._retry_after())
+
+        self._inflight[job.cache_key] = job
+        self.backlog += 1
+        self._register(job)
+        self._queue.put_nowait(job)
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def _register(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        if len(self._jobs) > self.max_jobs:
+            for job_id in list(self._jobs):
+                if len(self._jobs) <= self.max_jobs:
+                    break
+                if self._jobs[job_id].done.is_set():
+                    del self._jobs[job_id]
+
+    def _retry_after(self) -> float:
+        """Seconds a shed client should wait: backlog x mean latency / workers."""
+        means = [
+            h.total / h.count for h in self.metrics.latency.values() if h.count
+        ]
+        mean = max(means) if means else 1.0
+        workers = self.pool.workers if self.pool is not None else 1
+        return max(1.0, round(self.backlog * mean / workers, 1))
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _run_on_pool(self, eval_job: EvalJob) -> RunResult:
+        return await self.pool.run(_execute_job, eval_job)
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            job = await self._queue.get()
+            if job is None:
+                return
+            await self._execute(job)
+
+    async def _execute(self, job: Job) -> None:
+        job.state = "running"
+        for follower in job.followers:
+            follower.state = "running"
+        job.attempts += 1
+        self.metrics.executions += 1
+        try:
+            result = await self._run_job(job.prepared.eval_job)
+        except Exception as error:
+            self._complete(job, error=f"{type(error).__name__}: {error}")
+            return
+        if self.cache is not None:
+            try:
+                self.cache.put(job.cache_key, result)
+            except OSError:
+                pass  # a full disk must not fail the job itself
+        self._complete(job, result=result)
+
+    # ------------------------------------------------------------------
+    def _complete(
+        self,
+        job: Job,
+        result: Optional[RunResult] = None,
+        error: Optional[str] = None,
+        cache_hit: bool = False,
+    ) -> None:
+        """Terminal transition for a job and all its followers (atomic)."""
+        now = time.monotonic()
+        was_inflight = self._inflight.get(job.cache_key) is job
+        if was_inflight:
+            del self._inflight[job.cache_key]
+            self.backlog -= 1
+        for member in (job, *job.followers):
+            member.result = result
+            member.error = error
+            member.cache_hit = cache_hit
+            member.attempts = max(member.attempts, job.attempts)
+            member.state = "done" if error is None else "failed"
+            member.finished_mono = now
+            if error is None:
+                self.metrics.jobs_completed += 1
+            else:
+                self.metrics.jobs_failed += 1
+            latency = member.latency_seconds or 0.0
+            if cache_hit:
+                self.metrics.cache_hit_latency.record(latency)
+            elif result is not None or error is not None:
+                self.metrics.record_latency(member.spec.backend, latency)
+            member.done.set()
