@@ -7,15 +7,20 @@ Three analyzers over the COBRA framework's own artifacts:
 - :mod:`repro.analysis.contracts` — a dynamic harness driving every library
   component through the §III interface contract (CON rules);
 - :mod:`repro.analysis.lints` — AST lints for reproducibility hazards in
-  the source tree (RPR rules).
+  the source tree (RPR rules);
+- :mod:`repro.analysis.spec_check` — conformance of every component's
+  imperative implementation against its declarative
+  :class:`repro.spec.ComponentSpec` (SPEC rules).
 
-All three emit :class:`~repro.analysis.diagnostics.Diagnostic` records with
+All four emit :class:`~repro.analysis.diagnostics.Diagnostic` records with
 stable rule codes; ``docs/static_analysis.md`` is the rule catalog.
 """
 
 from repro.analysis.contracts import (
+    StimulusDims,
     check_component,
     check_library,
+    dims_for,
     state_fingerprint,
 )
 from repro.analysis.diagnostics import (
@@ -28,16 +33,26 @@ from repro.analysis.diagnostics import (
     validate_report,
 )
 from repro.analysis.lints import lint_paths
+from repro.analysis.spec_check import (
+    check_component_spec,
+    check_library_specs,
+    spec_coverage,
+)
 from repro.analysis.topology_check import check_spec, check_topology
 
 __all__ = [
     "DIAGNOSTIC_SCHEMA",
     "Diagnostic",
     "RULES",
+    "StimulusDims",
     "check_component",
+    "check_component_spec",
     "check_library",
+    "check_library_specs",
     "check_spec",
     "check_topology",
+    "dims_for",
+    "spec_coverage",
     "exit_code",
     "filter_ignored",
     "lint_paths",

@@ -42,6 +42,12 @@ and bytes; containers recursively; plain objects by attribute).  Two
 instances built the same way fingerprint identically, so "reset restores
 power-on state" reduces to comparing a driven-then-reset instance against
 an untouched twin.
+
+Stimulus dimensions are derived from each component's declarative
+:class:`repro.spec.ComponentSpec` when it provides one (see
+:func:`dims_for`): fetch PCs span every table's index plus tag width, and
+history widths cover at least the spec's declared demand.  Components
+without a spec fall back to the historical fixed dimensions.
 """
 
 from __future__ import annotations
@@ -49,6 +55,7 @@ from __future__ import annotations
 import hashlib
 import random
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -63,6 +70,59 @@ DEFAULT_SEED = 0xC0B7A
 DEFAULT_STEPS = 48
 _FETCH_WIDTH = 4
 _TARGET_BITS = 30
+_MAX_PC_BITS = 30
+
+
+@dataclass(frozen=True)
+class StimulusDims:
+    """Dimensions of the seeded stimulus the harness drives.
+
+    The defaults are the historical hand-coded constants; :func:`dims_for`
+    widens them per component from its declarative spec so deep tables and
+    long histories are actually exercised end to end.
+    """
+
+    fetch_width: int = _FETCH_WIDTH
+    pc_bits: int = 20
+    ghist_bits: int = 64
+    lhist_bits: int = 32
+    phist_bits: int = 32
+
+
+DEFAULT_DIMS = StimulusDims()
+
+
+def dims_for(component: PredictorComponent) -> StimulusDims:
+    """Derive stimulus dimensions from a component's declarative spec.
+
+    Fetch PCs must be wide enough that every spec table sees distinct
+    indices *and* distinct tags (otherwise a narrow stimulus masks
+    aliasing bugs), and each history must be at least as wide as the
+    spec's declared demand.  Components without a spec get the defaults.
+    """
+    try:
+        spec = component.spec()
+    except Exception:
+        spec = None
+    if spec is None:
+        return DEFAULT_DIMS
+    fetch_width = DEFAULT_DIMS.fetch_width
+    pc_bits = DEFAULT_DIMS.pc_bits
+    for table in spec.tables:
+        if table.index is None:
+            continue
+        fetch_width = max(fetch_width, table.index.fetch_width)
+        tag_bits = sum(
+            f.bits for f in table.fields if f.name == "tag"
+        )
+        pc_bits = max(pc_bits, table.index.index_bits + tag_bits)
+    return StimulusDims(
+        fetch_width=fetch_width,
+        pc_bits=min(pc_bits, _MAX_PC_BITS),
+        ghist_bits=max(DEFAULT_DIMS.ghist_bits, spec.ghist_bits),
+        lhist_bits=max(DEFAULT_DIMS.lhist_bits, spec.lhist_bits),
+        phist_bits=max(DEFAULT_DIMS.phist_bits, spec.phist_bits),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -163,16 +223,16 @@ def _random_vector(
 
 
 def _stimulus(
-    rng: random.Random, n_inputs: int
+    rng: random.Random, n_inputs: int, dims: StimulusDims = DEFAULT_DIMS
 ) -> Tuple[PredictRequest, List[PredictionVector]]:
-    fetch_pc = rng.getrandbits(20)
-    width = packet_span(fetch_pc, _FETCH_WIDTH)
+    fetch_pc = rng.getrandbits(dims.pc_bits)
+    width = packet_span(fetch_pc, dims.fetch_width)
     req = PredictRequest(
         fetch_pc,
         width,
-        ghist=rng.getrandbits(64),
-        lhist=rng.getrandbits(32),
-        phist=rng.getrandbits(32),
+        ghist=rng.getrandbits(dims.ghist_bits),
+        lhist=rng.getrandbits(dims.lhist_bits),
+        phist=rng.getrandbits(dims.phist_bits),
     )
     inputs = [_random_vector(rng, fetch_pc, width) for _ in range(n_inputs)]
     return req, inputs
@@ -324,19 +384,60 @@ def _check_input_mutation(
             )
 
 
+def _check_meta_payload_sweep(
+    component: PredictorComponent, report: _Reporter
+) -> None:
+    """Spec-declared payload boundary sweep (CON001).
+
+    Packs each spec metadata field at its all-ones maximum (all other
+    fields zero), plus the all-zero word, and requires ``check_meta`` to
+    accept every word: the spec's LSB-first field layout must fit the
+    component's declared ``meta_bits`` at every field's extreme.
+    """
+    try:
+        spec = component.spec()
+    except Exception:
+        return  # a raising spec() is SPEC008's finding, not a CON one
+    if spec is None or not spec.meta_fields:
+        return
+    words: List[Tuple[str, int]] = [("all-zero", 0)]
+    offset = 0
+    for field in spec.meta_fields:
+        lane = (1 << field.bits) - 1
+        word = 0
+        for k in range(field.count):
+            word |= lane << (offset + k * field.bits)
+        words.append((field.name, word))
+        offset += field.bits * field.count
+    for label, word in words:
+        try:
+            component.check_meta(word)
+        except InterfaceError as exc:
+            report.report(
+                "CON001",
+                f"spec payload sweep: the {label} boundary word {word:#x} "
+                f"built from the declared meta fields does not fit "
+                f"check_meta: {exc}",
+            )
+            break
+
+
 def _drive(
     component: PredictorComponent,
     seed: int,
     steps: int,
     report: Optional[_Reporter] = None,
     check_fire_repair: bool = False,
+    dims: Optional[StimulusDims] = None,
 ) -> List[tuple]:
     """Run the stimulus; optionally check contracts; return an output log."""
+    if dims is None:
+        dims = dims_for(component)
     rng = random.Random(seed)
     log: List[tuple] = []
     overrides_fire = type(component).fire is not PredictorComponent.fire
     for step in range(steps):
-        req, inputs = _stimulus(rng, component.n_inputs)
+        req, inputs = _stimulus(rng, component.n_inputs, dims)
         snapshots = [v.copy() for v in inputs]
         out, meta = component.lookup(req, inputs)
         if report is not None:
@@ -407,8 +508,15 @@ def check_component(
     if storage.sram_bits < 0 or storage.flop_bits < 0 or storage.access_bits < 0:
         report.report("CON006", "storage report contains negative bit counts")
 
-    # CON001/CON002/CON005 + stimulus drive.
-    log_a = _drive(component, seed, steps, report, check_fire_repair=True)
+    # CON001 (static leg): every spec payload field at its boundary must
+    # fit the declared meta width before any stimulus runs.
+    _check_meta_payload_sweep(component, report)
+
+    # CON001/CON002/CON005 + stimulus drive.  Stimulus dimensions come
+    # from the component's declarative spec (index + tag reach, history
+    # demand) rather than hand-coded constants.
+    dims = dims_for(component)
+    log_a = _drive(component, seed, steps, report, check_fire_repair=True, dims=dims)
 
     # CON004: a driven-then-reset instance must fingerprint identically to
     # an untouched twin.
@@ -422,9 +530,9 @@ def check_component(
 
     # CON007: same seed, same behavior.  The twin replays the identical
     # stimulus; outputs, metadata, and the final fingerprint must match.
-    log_b = _drive(twin, seed, steps, report=None, check_fire_repair=False)
+    log_b = _drive(twin, seed, steps, report=None, check_fire_repair=False, dims=dims)
     replay = factory(f"{base.lower()}_a", latency)
-    log_c = _drive(replay, seed, steps, report=None, check_fire_repair=False)
+    log_c = _drive(replay, seed, steps, report=None, check_fire_repair=False, dims=dims)
     if log_b != log_c or state_fingerprint(twin) != state_fingerprint(replay):
         report.report(
             "CON007",
@@ -443,7 +551,7 @@ def check_component(
         overrides_fire = type(replay).fire is not PredictorComponent.fire
         for step in range(8):
             before = state_fingerprint(replay)
-            req, inputs = _stimulus(rng, replay.n_inputs)
+            req, inputs = _stimulus(rng, replay.n_inputs, dims)
             _out, meta = replay.lookup(req, inputs)
             bundle = _branchless_bundle(req, meta)
             if overrides_fire:
@@ -477,11 +585,11 @@ def check_component(
         reqs = []
         vectors = []
         for _ in range(16):
-            req, inputs = _stimulus(rng, 1)
+            req, inputs = _stimulus(rng, 1, dims)
             reqs.append(req)
             vectors.append(inputs[0])
         ctx = stimulus_context(
-            [r.fetch_pc for r in reqs], [r.ghist for r in reqs], _FETCH_WIDTH
+            [r.fetch_pc for r in reqs], [r.ghist for r in reqs], dims.fetch_width
         )
         batch = state_from_vectors(vectors, ctx)
         try:
@@ -517,17 +625,23 @@ def check_component(
     except Exception:
         fast = None  # construction rejects latency 1: contract upheld
     if fast is not None:
+        fast_dims = dims_for(fast)
+        hist_bits = {
+            "ghist": fast_dims.ghist_bits,
+            "lhist": fast_dims.lhist_bits,
+            "phist": fast_dims.phist_bits,
+        }
         rng = random.Random(seed)
         violated = False
         for step in range(steps // 2):
             if violated:
                 break
-            req, inputs = _stimulus(rng, fast.n_inputs)
+            req, inputs = _stimulus(rng, fast.n_inputs, fast_dims)
             out_a, meta_a = fast.lookup(req, [v.copy() for v in inputs])
             # Perturb each history independently, single-bit and full-width
             # flips both, so neither parity tricks nor wide hashes escape.
             for field in ("ghist", "lhist", "phist"):
-                for flip in (1, (1 << 64) - 1):
+                for flip in (1, (1 << hist_bits[field]) - 1):
                     shifted = PredictRequest(
                         req.fetch_pc,
                         req.width,

@@ -44,6 +44,16 @@ RULES: Dict[str, tuple] = {
     "RPR002": (ERROR, "mutable default argument"),
     "RPR003": (ERROR, "fire overridden without on_repair"),
     "RPR004": (ERROR, "direct mutation of an incoming PredictionVector"),
+    "RPR005": (WARN, "noqa comment references an unknown rule code"),
+    # Spec conformance (repro.analysis.spec_check)
+    "SPEC001": (ERROR, "library component has no spec() and no waiver"),
+    "SPEC002": (ERROR, "spec storage geometry disagrees with storage()/area"),
+    "SPEC003": (ERROR, "spec IndexFn does not reproduce the observed index"),
+    "SPEC004": (ERROR, "spec history demand disagrees with required_*_bits"),
+    "SPEC005": (ERROR, "spec payload fields disagree with the MetaCodec"),
+    "SPEC006": (ERROR, "spec kernel class disagrees with columnar_kernel()"),
+    "SPEC007": (ERROR, "spec-derived branchless_inert disagrees with the flag"),
+    "SPEC008": (ERROR, "component spec is malformed"),
 }
 
 
@@ -130,6 +140,11 @@ def exit_code(diagnostics: Iterable[Diagnostic], strict: bool = False) -> int:
     return 0
 
 
+#: Version of the ``repro check --json`` report document.  Version 2
+#: widened rule codes from exactly three letters to three-or-four
+#: (the SPEC family) and added RPR005.
+REPORT_VERSION = 2
+
 #: JSON-schema (draft-07 subset) of ``repro check --json`` output.
 DIAGNOSTIC_SCHEMA: Dict[str, object] = {
     "$schema": "http://json-schema.org/draft-07/schema#",
@@ -137,7 +152,7 @@ DIAGNOSTIC_SCHEMA: Dict[str, object] = {
     "type": "object",
     "required": ["version", "errors", "warnings", "diagnostics"],
     "properties": {
-        "version": {"type": "integer", "const": 1},
+        "version": {"type": "integer", "const": REPORT_VERSION},
         "errors": {"type": "integer", "minimum": 0},
         "warnings": {"type": "integer", "minimum": 0},
         "diagnostics": {
@@ -146,7 +161,7 @@ DIAGNOSTIC_SCHEMA: Dict[str, object] = {
                 "type": "object",
                 "required": ["code", "severity", "message", "subject"],
                 "properties": {
-                    "code": {"type": "string", "pattern": "^[A-Z]{3}[0-9]{3}$"},
+                    "code": {"type": "string", "pattern": "^[A-Z]{3,4}[0-9]{3}$"},
                     "severity": {"enum": ["error", "warn"]},
                     "message": {"type": "string"},
                     "subject": {"type": "string"},
@@ -163,7 +178,7 @@ DIAGNOSTIC_SCHEMA: Dict[str, object] = {
 def to_json(diagnostics: Sequence[Diagnostic], indent: int = 2) -> str:
     """Serialize diagnostics into the documented JSON report."""
     document = {
-        "version": 1,
+        "version": REPORT_VERSION,
         "errors": count_errors(diagnostics),
         "warnings": count_warnings(diagnostics),
         "diagnostics": [d.to_dict() for d in diagnostics],
@@ -183,7 +198,7 @@ def validate_report(document: Dict[str, object]) -> List[str]:
     for key in ("version", "errors", "warnings", "diagnostics"):
         if key not in document:
             problems.append(f"missing key {key!r}")
-    if document.get("version") != 1:
+    if document.get("version") != REPORT_VERSION:
         problems.append(f"unknown report version {document.get('version')!r}")
     for key in ("errors", "warnings"):
         value = document.get(key)
@@ -201,7 +216,10 @@ def validate_report(document: Dict[str, object]) -> List[str]:
                 problems.append(f"diagnostics[{i}].{key} must be a string")
         code = entry.get("code")
         if isinstance(code, str) and not (
-            len(code) == 6 and code[:3].isalpha() and code[3:].isdigit()
+            len(code) in (6, 7)
+            and code[:-3].isalpha()
+            and code[:-3].isupper()
+            and code[-3:].isdigit()
         ):
             problems.append(f"diagnostics[{i}].code {code!r} is malformed")
         if entry.get("severity") not in ("error", "warn"):

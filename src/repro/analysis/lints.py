@@ -3,12 +3,13 @@
 A small, repo-specific lint pass covering hazards generic linters miss:
 
 ======  ========================================================
-code    finding (all errors)
+code    finding
 ======  ========================================================
 RPR001  unseeded RNG or wall-clock call in deterministic code
 RPR002  mutable default argument
 RPR003  PredictorComponent subclass overrides fire without on_repair
 RPR004  in-place mutation of an incoming ``predict_in`` vector
+RPR005  noqa comment references an unknown rule code (warn)
 ======  ========================================================
 
 RPR001 applies only to the determinism-critical packages (``core``,
@@ -34,7 +35,7 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.diagnostics import Diagnostic, diagnostic
+from repro.analysis.diagnostics import RULES, Diagnostic, diagnostic
 
 #: Packages where simulation determinism is load-bearing (RPR001 scope).
 DETERMINISTIC_PACKAGES = ("core", "components", "frontend", "isa")
@@ -364,6 +365,35 @@ def _resolve_rpr003(
     return diags
 
 
+def _check_noqa_codes(path: str, lines: List[str]) -> List[Diagnostic]:
+    """RPR005: a noqa comment naming a nonexistent rule suppresses nothing.
+
+    The typo'd suppression reads as if the rule were being waived while the
+    real diagnostic keeps firing (or, for a since-deleted rule, as if it
+    were still enforced), so unknown codes get their own warning.
+    """
+    diags: List[Diagnostic] = []
+    for lineno, line in enumerate(lines, start=1):
+        match = _NOQA_RE.search(line)
+        if match is None or match.group("codes") is None:
+            continue
+        codes = [c.strip() for c in match.group("codes").split(",") if c.strip()]
+        for code in codes:
+            if code not in RULES:
+                diags.append(
+                    diagnostic(
+                        "RPR005",
+                        f"noqa[{code}] names no registered rule; this "
+                        f"suppression has no effect",
+                        path,
+                        file=path,
+                        line=lineno,
+                        col=match.start() + 1,
+                    )
+                )
+    return diags
+
+
 def _is_deterministic_scope(path: Path, root: Path) -> bool:
     try:
         parts = path.resolve().relative_to(root.resolve()).parts
@@ -419,6 +449,7 @@ def lint_paths(
             continue
         lines = text.splitlines()
         sources[str(path)] = lines
+        diags.extend(_check_noqa_codes(str(path), lines))
         linter = _FileLinter(
             str(path), lines, _is_deterministic_scope(path, root)
         )

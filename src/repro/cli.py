@@ -258,13 +258,31 @@ def _cmd_check(args) -> int:
     run_topologies = list(args.topology or [])
     run_components = args.components
     run_lint = args.lint
+    run_spec = args.spec
     if args.all:
         run_components = True
         run_lint = True
-    if not (run_topologies or run_components or run_lint or args.all):
+        run_spec = True
+    if not (run_topologies or run_components or run_lint or run_spec):
         print(
             "nothing to check: pass --topology SPEC, --components, --lint, "
-            "or --all",
+            "--spec, or --all",
+            file=sys.stderr,
+        )
+        return 2
+
+    # A typo'd --ignore code would otherwise silently suppress nothing and
+    # let the intended diagnostic keep failing (or worse, a stale code
+    # would read as if it were still being enforced).
+    unknown_ignores = sorted(
+        {code.strip().upper() for code in (args.ignore or []) if code.strip()}
+        - set(diag_mod.RULES)
+    )
+    if unknown_ignores:
+        known = ", ".join(sorted(diag_mod.RULES))
+        print(
+            f"unknown rule code(s) in --ignore: {', '.join(unknown_ignores)} "
+            f"(known codes: {known})",
             file=sys.stderr,
         )
         return 2
@@ -306,6 +324,10 @@ def _cmd_check(args) -> int:
             )
     if run_components:
         diags.extend(check_library())
+    if run_spec:
+        from repro.analysis.spec_check import check_library_specs
+
+        diags.extend(check_library_specs())
     if run_lint:
         diags.extend(lint_paths(args.lint_path or None))
 
@@ -591,9 +613,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "interface-contract harness (CON rules)")
     check.add_argument("--lint", action="store_true",
                        help="run the reproducibility lints (RPR rules)")
+    check.add_argument("--spec", action="store_true",
+                       help="verify every library component against its "
+                            "declarative ComponentSpec (SPEC rules)")
     check.add_argument("--all", action="store_true",
-                       help="components + lints + every shipped preset "
-                            "topology")
+                       help="components + lints + specs + every shipped "
+                            "preset topology")
     check.add_argument("--json", action="store_true",
                        help="emit the machine-readable diagnostics document "
                             "(see docs/static_analysis.md for the schema)")

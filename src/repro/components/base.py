@@ -138,6 +138,18 @@ class IndexScheme:
     def uses_path_history(self) -> bool:
         return self.scheme in ("phist", "pshare")
 
+    def index_fn(self, key: str = "packet", fetch_width: int = 1):
+        """This scheme as a declarative :class:`repro.spec.IndexFn`."""
+        from repro.spec import IndexFn
+
+        return IndexFn(
+            self.scheme,
+            self.index_bits,
+            self.history_bits,
+            key=key,
+            fetch_width=fetch_width,
+        )
+
     def index(self, packet_pc: int, ghist: int, lhist: int, phist: int = 0) -> int:
         bits = self.index_bits
         if self.scheme == "pc":

@@ -145,6 +145,35 @@ class HBIM(PredictorComponent):
 
         return HBIMKernel(self)
 
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, TableSpec
+
+        scheme = self._scheme
+        counters = FieldSpec("ctr", self.counter_bits, self.fetch_width)
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "counters",
+                    entries=self.n_sets,
+                    fields=(counters,),
+                    update="saturating-counter",
+                    index=scheme.index_fn("packet", self.fetch_width),
+                    probe=lambda c, pc, g, l, p: c._index(pc, g, l, p),
+                ),
+            ),
+            meta_fields=(counters,),
+            ghist_bits=scheme.history_bits if scheme.uses_global_history else 0,
+            lhist_bits=scheme.history_bits if scheme.uses_local_history else 0,
+            phist_bits=scheme.history_bits if scheme.uses_path_history else 0,
+            kernel=(
+                "closed-form"
+                if scheme.scheme in ("pc", "ghist", "gshare", "gselect")
+                else "none"
+            ),
+            learns_from=("branch",),
+        )
+
     # Exposed for tests.
     def counter_at(self, index: int, lane: int) -> int:
         return int(self._table[index, lane])

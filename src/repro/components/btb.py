@@ -165,6 +165,60 @@ class BTB(PredictorComponent):
 
         return BTBKernel(self)
 
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        way_bits = max(1, (self.n_ways - 1).bit_length())
+        index = IndexFn(
+            "pc", self._index_bits, key="packet", fetch_width=self.fetch_width
+        )
+
+        def probe(c, pc, g, l, p):
+            return c._index_tag(pc)[0]
+
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "tags",
+                    entries=self.n_sets,
+                    ways=self.n_ways,
+                    fields=(
+                        FieldSpec("valid", 1),
+                        FieldSpec("tag", self.tag_bits),
+                    ),
+                    update="allocate-on-miss",
+                    index=index,
+                    probe=probe,
+                ),
+                TableSpec(
+                    "targets",
+                    entries=self.n_sets,
+                    ways=self.n_ways,
+                    fields=(
+                        FieldSpec("slot_valid", 1, self.fetch_width),
+                        FieldSpec("slot_jump", 1, self.fetch_width),
+                        FieldSpec("target", TARGET_BITS, self.fetch_width),
+                    ),
+                    update="allocate-on-miss",
+                    index=index,
+                    probe=probe,
+                ),
+                TableSpec(
+                    "replacement",
+                    entries=self.n_sets,
+                    fields=(FieldSpec("ptr", way_bits),),
+                    kind="flop",
+                    update="exact-event",
+                    index=index,
+                    probe=probe,
+                ),
+            ),
+            meta_fields=(FieldSpec("hit", 1), FieldSpec("way", way_bits)),
+            kernel="event-replay",
+            learns_from=("cfi",),
+        )
+
 
 class MicroBTB(PredictorComponent):
     """Small fully-associative single-cycle BTB (uBTB).
@@ -308,3 +362,37 @@ class MicroBTB(PredictorComponent):
         from repro.kernels.components import MicroBTBKernel
 
         return MicroBTBKernel(self)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        entry_bits = max(1, (self.n_entries - 1).bit_length())
+        lane_bits = max(1, (self.fetch_width - 1).bit_length())
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "entries",
+                    entries=self.n_entries,
+                    fields=(
+                        FieldSpec("valid", 1),
+                        FieldSpec("tag", self.tag_bits),
+                        FieldSpec("cfi_idx", lane_bits),
+                        FieldSpec("jump", 1),
+                        FieldSpec("target", TARGET_BITS),
+                        FieldSpec("ctr", self.counter_bits),
+                    ),
+                    kind="flop",
+                    update="allocate-on-miss",
+                    # Fully associative: a CAM match, not an index hash.
+                    index=IndexFn("none", 0, fetch_width=self.fetch_width),
+                ),
+            ),
+            meta_fields=(
+                FieldSpec("hit", 1),
+                FieldSpec("entry", entry_bits),
+                FieldSpec("ctr", self.counter_bits),
+            ),
+            kernel="event-replay",
+            learns_from=("branch", "cfi"),
+        )

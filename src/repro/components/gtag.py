@@ -143,3 +143,46 @@ class GTag(PredictorComponent):
         from repro.kernels.components import GTagKernel
 
         return GTagKernel(self)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        index = IndexFn(
+            "gshare",
+            self._index_bits,
+            self.history_bits,
+            key="packet",
+            fetch_width=self.fetch_width,
+        )
+
+        def probe(c, pc, g, l, p):
+            return c._index_tag(pc, g)[0]
+
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "counters",
+                    entries=self.n_sets,
+                    fields=(FieldSpec("ctr", self.counter_bits, self.fetch_width),),
+                    update="saturating-counter",
+                    index=index,
+                    probe=probe,
+                ),
+                TableSpec(
+                    "tags",
+                    entries=self.n_sets,
+                    fields=(FieldSpec("valid", 1), FieldSpec("tag", self.tag_bits)),
+                    update="allocate-on-miss",
+                    index=index,
+                    probe=probe,
+                ),
+            ),
+            meta_fields=(
+                FieldSpec("hit", 1),
+                FieldSpec("ctr", self.counter_bits, self.fetch_width),
+            ),
+            ghist_bits=self.history_bits,
+            kernel="event-replay",
+            learns_from=("branch",),
+        )

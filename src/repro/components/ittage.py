@@ -184,3 +184,48 @@ class ITTAGE(PredictorComponent):
             self._lanes[table].fill(0)
             self._targets[table].fill(0)
             self._conf[table].fill(0)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        lane_bits = max(1, (self.fetch_width - 1).bit_length())
+        table_bits = max(1, (len(self.history_lengths) - 1).bit_length())
+        tables = []
+        for table_id, length in enumerate(self.history_lengths):
+            tables.append(
+                TableSpec(
+                    f"table{table_id}(h={length})",
+                    entries=self.n_sets,
+                    fields=(
+                        FieldSpec("valid", 1),
+                        FieldSpec("tag", self.tag_bits),
+                        FieldSpec("lane", lane_bits),
+                        FieldSpec("target", TARGET_BITS),
+                        FieldSpec("conf", self.conf_bits),
+                    ),
+                    update="allocate-on-miss",
+                    index=IndexFn(
+                        "gshare",
+                        self._index_bits,
+                        length,
+                        key="packet",
+                        fetch_width=self.fetch_width,
+                    ),
+                    probe=lambda c, pc, g, l, p, t=table_id: c._index_tag(pc, g, t)[
+                        0
+                    ],
+                )
+            )
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=tuple(tables),
+            meta_fields=(
+                FieldSpec("provider_valid", 1),
+                FieldSpec("provider", table_bits),
+                FieldSpec("lane", lane_bits),
+                FieldSpec("conf", self.conf_bits),
+            ),
+            ghist_bits=max(self.history_lengths),
+            kernel="none",
+            learns_from=("indirect",),
+        )

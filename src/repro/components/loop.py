@@ -241,3 +241,38 @@ class LoopPredictor(PredictorComponent):
         from repro.kernels.components import LoopKernel
 
         return LoopKernel(self)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        lane_bits = max(1, (self.fetch_width - 1).bit_length())
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "entries",
+                    entries=self.n_entries,
+                    fields=(
+                        FieldSpec("valid", 1),
+                        FieldSpec("tag", self.tag_bits),
+                        FieldSpec("direction", 1),
+                        FieldSpec("trip", self.iter_bits),
+                        FieldSpec("spec_iter", self.iter_bits),
+                        FieldSpec("commit_iter", self.iter_bits),
+                        FieldSpec("conf", 3),
+                    ),
+                    # Speculative fire/repair protocol: state advances at
+                    # predict time and is restored from metadata snapshots.
+                    update="exact-event",
+                    index=IndexFn("pc", self._index_bits, key="branch_pc"),
+                    probe=lambda c, pc, g, l, p: c._index_tag(pc)[0],
+                ),
+            ),
+            meta_fields=(
+                FieldSpec("cand_valid", 1),
+                FieldSpec("lane", lane_bits),
+                FieldSpec("spec_iter", self.iter_bits),
+            ),
+            kernel="event-replay",
+            learns_from=("branch",),
+        )

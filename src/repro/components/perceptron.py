@@ -125,3 +125,34 @@ class Perceptron(PredictorComponent):
 
     def reset(self) -> None:
         self._weights.fill(0)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        lane_bits = max(1, (self.fetch_width - 1).bit_length())
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "weights",
+                    entries=self.n_entries,
+                    fields=(
+                        FieldSpec("w", self.weight_bits, self.history_bits + 1),
+                    ),
+                    update="saturating-counter",
+                    index=IndexFn("pc", self._index_bits, key="branch_pc"),
+                    probe=lambda c, pc, g, l, p: c._dot(pc, g)[0],
+                ),
+            ),
+            meta_fields=(
+                FieldSpec("cand_valid", 1),
+                FieldSpec("lane", lane_bits),
+                FieldSpec("taken", 1),
+                FieldSpec("magnitude", 12),
+            ),
+            # The index is PC-only but prediction consumes the history as
+            # dot-product inputs, so the demand is declared explicitly.
+            ghist_bits=self.history_bits,
+            kernel="none",
+            learns_from=("branch",),
+        )

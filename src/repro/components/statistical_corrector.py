@@ -155,3 +155,36 @@ class StatisticalCorrector(PredictorComponent):
     def reset(self) -> None:
         for table in self._tables:
             table.fill(0)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        lane_bits = max(1, (self.fetch_width - 1).bit_length())
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "tables",
+                    entries=self.n_sets,
+                    ways=len(self.history_lengths),
+                    fields=(FieldSpec("ctr", self.counter_bits),),
+                    update="saturating-counter",
+                    # PC XOR folded history, shifted left one and OR'd with
+                    # the *incoming predicted direction* — conditioning on a
+                    # dataflow input has no closed form over the stimulus.
+                    index=IndexFn(
+                        "custom", self._index_bits, max(self.history_lengths)
+                    ),
+                ),
+            ),
+            meta_fields=(
+                FieldSpec("cand_valid", 1),
+                FieldSpec("lane", lane_bits),
+                FieldSpec("incoming", 1),
+                FieldSpec("ctr", self.counter_bits, len(self.history_lengths)),
+                FieldSpec("flipped", 1),
+            ),
+            ghist_bits=max(self.history_lengths),
+            kernel="none",
+            learns_from=("branch",),
+        )

@@ -373,3 +373,50 @@ class TAGE(PredictorComponent):
         from repro.kernels.components import TAGEKernel
 
         return TAGEKernel(self)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        table_id_bits = max(1, (len(self.tables) - 1).bit_length())
+        tables = []
+        for table_id, cfg in enumerate(self.tables):
+            tables.append(
+                TableSpec(
+                    f"table{table_id}(h={cfg.history_bits})",
+                    entries=cfg.n_sets,
+                    fields=(
+                        FieldSpec("tag", cfg.tag_bits),
+                        FieldSpec("valid", 1),
+                        FieldSpec("u", self.u_bits),
+                        FieldSpec("ctr", self.counter_bits, self.fetch_width),
+                    ),
+                    update="allocate-on-miss",
+                    index=IndexFn(
+                        "gshare",
+                        self._index_bits[table_id],
+                        cfg.history_bits,
+                        key="packet",
+                        fetch_width=self.fetch_width,
+                    ),
+                    probe=lambda c, pc, g, l, p, t=table_id: c._index_tag(pc, g, t)[
+                        0
+                    ],
+                )
+            )
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=tuple(tables),
+            meta_fields=(
+                FieldSpec("provider_valid", 1),
+                FieldSpec("provider", table_id_bits),
+                FieldSpec("alt_valid", 1),
+                FieldSpec("alt", table_id_bits),
+                FieldSpec("provider_ctr", self.counter_bits, self.fetch_width),
+                FieldSpec("alt_taken", 1, self.fetch_width),
+                FieldSpec("used_alt", 1, self.fetch_width),
+                FieldSpec("provider_u", self.u_bits),
+            ),
+            ghist_bits=max(cfg.history_bits for cfg in self.tables),
+            kernel="event-replay",
+            learns_from=("branch",),
+        )

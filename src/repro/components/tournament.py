@@ -138,6 +138,40 @@ class Tourney(PredictorComponent):
     def reset(self) -> None:
         self._table.fill(1 << (self.counter_bits - 1))
 
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=(
+                TableSpec(
+                    "choosers",
+                    entries=self.n_sets,
+                    fields=(
+                        FieldSpec("choice", self.counter_bits, self.fetch_width),
+                    ),
+                    update="saturating-counter",
+                    index=IndexFn(
+                        self.index,
+                        self._index_bits,
+                        self.history_bits,
+                        key="packet",
+                        fetch_width=self.fetch_width,
+                    ),
+                    probe=lambda c, pc, g, l, p: c._index(pc, g),
+                ),
+            ),
+            meta_fields=(
+                FieldSpec("choice", self.counter_bits, self.fetch_width),
+                FieldSpec("a_taken", 1, self.fetch_width),
+                FieldSpec("b_taken", 1, self.fetch_width),
+            ),
+            ghist_bits=self.history_bits,
+            kernel="none",
+            learns_from=("branch",),
+            n_inputs=2,
+        )
+
 
 def _padded(vector: PredictionVector, fetch_width: int, offset: int):
     """Expand a packet-span vector to full fetch-width lanes for metadata."""

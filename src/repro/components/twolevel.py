@@ -226,3 +226,66 @@ class TwoLevel(PredictorComponent):
         from repro.kernels.components import TwoLevelKernel
 
         return TwoLevelKernel(self)
+
+    def spec(self):
+        from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
+
+        lane_bits = max(1, (self.fetch_width - 1).bit_length())
+        global_l1 = self.variant.startswith("G")
+        tables = []
+        if not global_l1:
+            tables.append(
+                TableSpec(
+                    "l1_histories",
+                    entries=self.l1_entries,
+                    fields=(FieldSpec("hist", self.history_bits),),
+                    # Speculative fire/repair shift protocol, not a pure
+                    # commit-time shift-in.
+                    update="exact-event",
+                    index=IndexFn("pc", self._l1_index_bits, key="branch_pc"),
+                    probe=lambda c, pc, g, l, p: c._l1_index(pc),
+                )
+            )
+        tables.append(
+            TableSpec(
+                "l2_patterns",
+                entries=self.l2_sets,
+                ways=self.l2_tables,
+                fields=(FieldSpec("ctr", self.counter_bits),),
+                update="saturating-counter",
+                index=(
+                    IndexFn(
+                        "ghist_raw",
+                        self._l2_index_bits,
+                        self.history_bits,
+                        key="branch_pc",
+                    )
+                    if global_l1
+                    # P variants index from their own level-1 registers; no
+                    # closed form over the architectural stimulus exists.
+                    else IndexFn("custom", self._l2_index_bits, self.history_bits)
+                ),
+                probe=(
+                    (
+                        lambda c, pc, g, l, p: c._l2_slot(
+                            pc, c._level1_history(pc, g)
+                        )[1]
+                    )
+                    if global_l1
+                    else None
+                ),
+            )
+        )
+        return ComponentSpec(
+            component=type(self).__name__,
+            tables=tuple(tables),
+            meta_fields=(
+                FieldSpec("cand_valid", 1),
+                FieldSpec("lane", lane_bits),
+                FieldSpec("hist", self.history_bits),
+                FieldSpec("ctr", self.counter_bits),
+            ),
+            ghist_bits=self.history_bits if global_l1 else 0,
+            kernel="closed-form" if global_l1 else "none",
+            learns_from=("branch",),
+        )

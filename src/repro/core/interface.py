@@ -213,6 +213,20 @@ class PredictorComponent(abc.ABC):
         """
         return None
 
+    def spec(self):
+        """Declarative self-description (:class:`repro.spec.ComponentSpec`).
+
+        Library components return a :class:`~repro.spec.ComponentSpec`
+        that restates their table geometry, indexing, history demand,
+        metadata layout, and update-rule classes from first principles;
+        ``repro check --spec`` (SPEC001-SPEC008) then verifies the
+        imperative implementation against it.  The default — None —
+        marks a component with no spec; every ``ComponentLibrary`` base
+        must either override this or carry a registered waiver
+        (:func:`repro.spec.register_waiver`).
+        """
+        return None
+
     def check_meta(self, meta: int) -> int:
         """Validate that metadata fits the declared width, then mask it.
 

@@ -25,6 +25,7 @@ from repro import presets
 from repro.fuzz.generate import (
     TopologyFactory,
     campaign_rng,
+    random_library_params,
     random_program_spec,
     random_topology_spec,
 )
@@ -147,7 +148,7 @@ def case_for_iteration(config: FuzzConfig, iteration: int) -> FuzzCase:
         topology = _PRESET_TOPOLOGIES[name]
     else:
         drawn = random_topology_spec(rng)
-        spec = TopologyFactory(drawn)
+        spec = TopologyFactory(drawn, random_library_params(rng))
         label = f"rand{iteration}"
         topology = drawn
     return FuzzCase(

@@ -26,8 +26,10 @@ import random
 from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional, Tuple
 
+from repro.components.library import standard_library
 from repro.core.composer import ComposedPredictor, ComposerConfig, compose
 from repro.isa.program import Program
+from repro.spec import LEGAL_SIZINGS
 from repro.workloads.generators import assemble_workload
 
 #: Component bases that only see the PC and may respond in one cycle.
@@ -88,6 +90,23 @@ def random_topology_spec(rng: random.Random, depth: int = 0) -> str:
     return unit()
 
 
+def random_library_params(
+    rng: random.Random, max_params: int = 3
+) -> Tuple[Tuple[str, int], ...]:
+    """Draw component sizings from the spec-declared legal ranges.
+
+    Each drawn parameter is a ``standard_library`` keyword whose value
+    comes from :data:`repro.spec.LEGAL_SIZINGS`, so every generated
+    library is one the declarative specs vouch for — the spec oracle can
+    demand a clean ``repro check --spec`` on every case without false
+    positives.  An empty draw (the default sizing) stays common so the
+    Table I configuration keeps getting fuzzed too.
+    """
+    count = rng.randint(0, max_params)
+    names = sorted(rng.sample(sorted(LEGAL_SIZINGS), count))
+    return tuple((name, rng.choice(LEGAL_SIZINGS[name])) for name in names)
+
+
 @dataclass(frozen=True)
 class TopologyFactory:
     """Picklable zero-argument predictor factory for a topology string.
@@ -96,12 +115,22 @@ class TopologyFactory:
     fuzz case's predictor spec must survive pickling — a closure over
     ``compose`` would silently fall back to the serial path and the oracle
     would stop testing anything.
+
+    ``library_params`` (``standard_library`` keyword/value pairs, usually
+    drawn by :func:`random_library_params`) resizes the component library
+    the topology is composed over; empty means the shipped defaults.
     """
 
     spec: str
+    library_params: Tuple[Tuple[str, int], ...] = ()
 
     def __call__(self) -> ComposedPredictor:
-        return compose(self.spec, config=ComposerConfig())
+        library = (
+            standard_library(**dict(self.library_params))
+            if self.library_params
+            else None
+        )
+        return compose(self.spec, library=library, config=ComposerConfig())
 
 
 # ----------------------------------------------------------------------

@@ -191,15 +191,26 @@ def minimize_case(
                 value = trial_value
 
     # 5. Simplify the topology (random-topology cases only; presets are
-    # named designs with their own libraries, not spec strings).
+    # named designs with their own libraries, not spec strings).  Drawn
+    # library sizings are carried through every rewrite; dropping them
+    # back to the default sizing is itself a shrink, tried first.
     if not current.is_preset:
+        params = getattr(current.predictor_spec, "library_params", ())
+        if params:
+            candidate = dataclasses.replace(
+                current,
+                predictor_spec=TopologyFactory(current.topology),
+            )
+            if fails(candidate):
+                current = candidate
+                params = ()
         simplified = True
         while simplified:
             simplified = False
             for spec in topology_candidates(current.topology):
                 candidate = dataclasses.replace(
                     current,
-                    predictor_spec=TopologyFactory(spec),
+                    predictor_spec=TopologyFactory(spec, params),
                     topology=spec,
                 )
                 if fails(candidate):

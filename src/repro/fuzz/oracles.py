@@ -27,6 +27,12 @@ reports every disagreement as a :class:`Mismatch`.  The catalog:
 ``check``
     ``repro check`` on the generated topology must report zero
     error-severity diagnostics (warnings are legal for random designs).
+``spec``
+    ``repro check --spec`` semantics over the composed predictor: every
+    instantiated component — including ones built from fuzz-drawn library
+    sizings — must conform to its declarative
+    :class:`repro.spec.ComponentSpec` (zero error-severity SPEC
+    diagnostics).
 
 Any exception inside an oracle is itself a finding (subject ``crash``):
 generated inputs must never crash the framework.
@@ -397,6 +403,34 @@ def oracle_check(case: FuzzCase, scratch: Path) -> List[Mismatch]:
     ]
 
 
+def oracle_spec(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Every composed component must conform to its declarative spec.
+
+    Runs ``repro check --spec`` semantics over the case's instantiated
+    components rather than the shipped library, so fuzz-drawn sizings
+    (:func:`repro.fuzz.generate.random_library_params`) are covered too.
+    """
+    from repro.analysis.diagnostics import ERROR
+    from repro.analysis.spec_check import check_component_spec
+
+    predictor = case.build_predictor()
+    errors = []
+    for component in predictor.components:
+        diags = check_component_spec(component, subject=component.name)
+        errors.extend(d for d in diags if d.severity == ERROR)
+    if not errors:
+        return []
+    return [
+        Mismatch(
+            "spec",
+            "component-spec",
+            {"errors": []},
+            {"errors": [f"{d.code}: {d.message}" for d in errors]},
+            "a composed component diverges from its declarative spec",
+        )
+    ]
+
+
 #: Oracle registry, in default execution order.
 ORACLES: Dict[str, Callable[[FuzzCase, Path], List[Mismatch]]] = {
     "backends": oracle_backends,
@@ -404,6 +438,7 @@ ORACLES: Dict[str, Callable[[FuzzCase, Path], List[Mismatch]]] = {
     "cache": oracle_cache,
     "telemetry": oracle_telemetry,
     "check": oracle_check,
+    "spec": oracle_spec,
 }
 
 DEFAULT_ORACLES = tuple(ORACLES)

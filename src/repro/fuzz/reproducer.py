@@ -140,6 +140,12 @@ def save_reproducer(
             "spec": case.predictor_spec
             if case.is_preset
             else case.topology,
+            "library_params": [
+                [name, value]
+                for name, value in getattr(
+                    case.predictor_spec, "library_params", ()
+                )
+            ],
         },
         "max_instructions": case.max_instructions,
         "program_spec": spec_to_payload(case.program_spec),
@@ -196,7 +202,12 @@ def load_reproducer(path: Union[str, Path]) -> Reproducer:
     if predictor["kind"] == "preset":
         spec = str(predictor["spec"])
     else:
-        spec = TopologyFactory(str(predictor["spec"]))
+        # Artifacts written before library sizings existed carry none.
+        params = tuple(
+            (str(name), int(value))
+            for name, value in predictor.get("library_params", [])
+        )
+        spec = TopologyFactory(str(predictor["spec"]), params)
 
     # The stored columns are authoritative; only fall back to them when the
     # generators no longer reproduce the program bit-for-bit.

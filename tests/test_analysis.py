@@ -223,7 +223,8 @@ class TestDiagnosticsModel:
         assert set(RULES) == {
             *(f"TOP{n:03d}" for n in range(8)),
             *(f"CON{n:03d}" for n in range(1, 10)),
-            *(f"RPR{n:03d}" for n in range(1, 5)),
+            *(f"RPR{n:03d}" for n in range(1, 6)),
+            *(f"SPEC{n:03d}" for n in range(1, 9)),
         }
 
     def test_exit_codes(self):
