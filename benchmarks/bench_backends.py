@@ -299,12 +299,30 @@ def run_benchmark(quick: bool = False):
     return "\n".join(lines), data
 
 
+def _derived_kernel_names(predictor):
+    """Component names whose columnar kernel is spec-generated."""
+    from repro.derive import kernel_is_derived
+
+    return [
+        c.name for c in predictor.components if kernel_is_derived(c) is True
+    ]
+
+
 def run_kernels_smoke():
     """CI gate: tage_l trace vs batch-kernel replay, with the floor assert."""
+    derived = _derived_kernel_names(presets.build(CONTEXT_PRESET))
+    # The gated composition must actually exercise generated kernels:
+    # the floor is meaningless if the derivation layer silently stopped
+    # supplying them and the engine fell back.
+    assert derived, (
+        f"preset {CONTEXT_PRESET} runs no spec-derived kernels; "
+        f"the KERNEL_FLOOR gate no longer covers repro.derive.kernels"
+    )
     lines = [
         f"kernels smoke: preset {CONTEXT_PRESET}, fetch_width=4, "
         f"scale={SCALE}, max_instructions={BUDGET}",
         "trace/replay counts bit-identical on every cell: asserted",
+        f"spec-derived kernels in flight: {', '.join(derived)}",
         "",
     ]
     with tempfile.TemporaryDirectory() as tmp:
@@ -330,6 +348,7 @@ def run_kernels_smoke():
     table["payload"] = CONTEXT_PRESET
     table["fetch_width"] = 4
     table["speedup_kernels_vs_trace"] = round(speedup, 3)
+    table["derived_kernels"] = derived
     data = {
         "suite": {
             "workloads": list(FULL_WORKLOADS),

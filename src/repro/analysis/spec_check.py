@@ -1,4 +1,4 @@
-"""Spec-conformance analyzer: rules SPEC001-SPEC008.
+"""Spec-conformance analyzer: rules SPEC001-SPEC009.
 
 Verifies every library component's imperative implementation against its
 declarative :class:`repro.spec.ComponentSpec`:
@@ -23,6 +23,10 @@ SPEC006   update-rule purity: the spec kernel class agrees with
 SPEC007   ``branchless_inert`` is derivable from the spec's learn
           triggers and agrees with the declared class flag
 SPEC008   the spec itself is well-formed
+SPEC009   derivation equivalence: a component whose scalar path executes
+          through :mod:`repro.derive` produces bit-identical predictions
+          and metadata to its frozen pre-refactor reference
+          (:mod:`repro.derive.reference`) on seeded contract stimulus
 ========  ==============================================================
 """
 
@@ -280,6 +284,46 @@ def _check_kernel(
     return diags
 
 
+#: Seeded stimulus length for the SPEC009 differential drive.
+DERIVED_STEPS = 96
+
+
+def _check_derived(
+    component: PredictorComponent, subject: str, seed: int
+) -> List[Diagnostic]:
+    """SPEC009: derived scalar path vs the frozen pre-refactor reference."""
+    # Lazy imports: contracts pulls in the stimulus machinery and derive
+    # pulls in the component families; neither belongs at analyzer import.
+    from repro.analysis.contracts import _drive
+    from repro.derive.reference import twin_dims, twin_pair
+
+    pair = twin_pair(component)
+    if pair is None:
+        return []
+    derived, reference = pair
+    dims = twin_dims(derived)
+    derived_log = _drive(derived, seed, DERIVED_STEPS, dims=dims)
+    reference_log = _drive(reference, seed, DERIVED_STEPS, dims=dims)
+    for step, (got, want) in enumerate(zip(derived_log, reference_log)):
+        if got != want:
+            pc, meta, slots = got
+            _, ref_meta, ref_slots = want
+            detail = (
+                f"meta {meta} != {ref_meta}"
+                if meta != ref_meta
+                else f"slots {slots} != {ref_slots}"
+            )
+            return [
+                diagnostic(
+                    "SPEC009",
+                    f"derived scalar path diverges from the pre-refactor "
+                    f"reference at step {step} (pc={pc:#x}): {detail}",
+                    subject,
+                )
+            ]
+    return []
+
+
 def _check_inert(
     component: PredictorComponent, spec: ComponentSpec, subject: str
 ) -> List[Diagnostic]:
@@ -306,7 +350,7 @@ def check_component_spec(
     subject: Optional[str] = None,
     seed: int = DEFAULT_SEED,
 ) -> List[Diagnostic]:
-    """Run SPEC001-SPEC008 against one instantiated component."""
+    """Run SPEC001-SPEC009 against one instantiated component."""
     subject = subject or component.name
     try:
         spec = component.spec()
@@ -335,6 +379,7 @@ def check_component_spec(
     diags.extend(_check_meta(component, spec, subject))
     diags.extend(_check_kernel(component, spec, subject))
     diags.extend(_check_inert(component, spec, subject))
+    diags.extend(_check_derived(component, subject, seed))
     return diags
 
 

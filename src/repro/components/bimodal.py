@@ -5,19 +5,25 @@ counters, so adjacent branches within one fetch packet read distinct
 counters instead of aliasing onto a single entry (§III-C).  The metadata
 field stores the counter values read at predict time so the table is not
 re-read at update time (§III-D).
+
+The table itself is spec-derived: the :class:`~repro.spec.ComponentSpec`
+built at construction is the single source of truth, and allocation, row
+selection (``_index``), the saturating-counter update, storage
+accounting, and the columnar kernel all execute from it through
+:mod:`repro.derive`.  Only the prediction semantics (``lookup``) stay
+hand-written.
 """
 
 from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-import numpy as np
-
-from repro._util import counter_taken, log2_exact, saturating_update
+from repro._util import counter_taken, log2_exact
 from repro.components.base import IndexScheme, MetaCodec
 from repro.core.events import PredictRequest, UpdateBundle
 from repro.core.interface import PredictorComponent, StorageReport
 from repro.core.prediction import PredictionVector
+from repro.derive.tables import DerivedTable, derived_storage
 
 
 class HBIM(PredictorComponent):
@@ -73,12 +79,17 @@ class HBIM(PredictorComponent):
         self.counter_bits = counter_bits
         # Initialize weakly not-taken.
         self._weak_nt = (1 << (counter_bits - 1)) - 1
-        self._table = np.full((n_sets, fetch_width), self._weak_nt, dtype=np.uint8)
+        self._spec = self._build_spec()
+        self._counters = DerivedTable(
+            self._spec.tables[0], init={"ctr": self._weak_nt}
+        )
+        self.derived_tables = {"counters": self._counters}
+        # Legacy-shaped view of the derived array (rows x lanes).
+        self._table = self._counters.lanes("ctr")
 
     # ------------------------------------------------------------------
     def _index(self, req_pc: int, ghist: int, lhist: int, phist: int = 0) -> int:
-        packet_pc = req_pc - (req_pc % self.fetch_width)
-        return self._scheme.index(packet_pc // self.fetch_width, ghist, lhist, phist)
+        return self._counters.row(req_pc, ghist, lhist, phist)
 
     def lookup(
         self, req: PredictRequest, predict_in: Sequence[PredictionVector]
@@ -111,41 +122,38 @@ class HBIM(PredictorComponent):
             counters = [counters]
         index = self._index(bundle.fetch_pc, bundle.ghist, bundle.lhist, bundle.phist)
         offset = bundle.fetch_pc % self.fetch_width
-        row = self._table[index]
         for slot_idx, is_branch in enumerate(bundle.br_mask):
             if not is_branch:
                 continue
             lane = offset + slot_idx
-            taken = bundle.taken_mask[slot_idx]
-            # Update from the predict-time counter value carried in the
-            # metadata, avoiding a second read port on the table (§III-D).
-            row[lane] = saturating_update(
-                int(counters[lane]), taken, self.counter_bits
+            # Closed-form train from the predict-time counter value carried
+            # in the metadata, avoiding a second read port (§III-D).
+            self._counters.train(
+                index,
+                bundle.taken_mask[slot_idx],
+                lane=lane if self.fetch_width > 1 else None,
+                counter=int(counters[lane]),
             )
 
     # ------------------------------------------------------------------
     def storage(self) -> StorageReport:
-        bits = self.n_sets * self.fetch_width * self.counter_bits
-        return StorageReport(
-            self.name,
-            sram_bits=bits,
-            breakdown={"counters": bits},
-            access_bits=self.fetch_width * self.counter_bits,
-        )
+        return derived_storage(self.name, self._spec)
 
     def reset(self) -> None:
-        self._table.fill(self._weak_nt)
+        self._counters.reset()
 
     def columnar_kernel(self):
         # Local- and path-history schemes read providers the columnar
-        # engine does not model; they stay on the scalar path.
-        if self._scheme.scheme not in ("pc", "ghist", "gshare", "gselect"):
-            return None
-        from repro.kernels.components import HBIMKernel
+        # engine does not model; their spec declares kernel="none" and the
+        # generator returns None for them.
+        from repro.derive.kernels import derived_kernel
 
-        return HBIMKernel(self)
+        return derived_kernel(self)
 
     def spec(self):
+        return self._spec
+
+    def _build_spec(self):
         from repro.spec import ComponentSpec, FieldSpec, TableSpec
 
         scheme = self._scheme

@@ -4,6 +4,12 @@ This is the backing direction predictor of the original BOOM design (the
 "B2" topology in §V-A pairs a partially tagged table of history-indexed
 counters, GTAG, with a PC-indexed bimodal).  On a tag hit it overrides the
 incoming direction; on a miss it passes ``predict_in`` through (§III-F).
+
+Storage, the gshare row hash, the counter training, storage accounting,
+and the columnar kernel are spec-derived (:mod:`repro.derive`).  The tag
+hash and the allocate-on-miss walk have no declared closed form and stay
+hand-written hooks — ``tag_columns`` is the vectorized tag hook the
+generated kernel consumes.
 """
 
 from __future__ import annotations
@@ -12,18 +18,12 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
-from repro._util import (
-    counter_taken,
-    fold_history,
-    hash_pc,
-    log2_exact,
-    mask,
-    saturating_update,
-)
+from repro._util import counter_taken, fold_history, log2_exact, mask
 from repro.components.base import MetaCodec
 from repro.core.events import PredictRequest, UpdateBundle
 from repro.core.interface import PredictorComponent, StorageReport
 from repro.core.prediction import PredictionVector
+from repro.derive.tables import DerivedTable, derived_storage
 
 
 class GTag(PredictorComponent):
@@ -56,20 +56,43 @@ class GTag(PredictorComponent):
         self.counter_bits = counter_bits
         self._index_bits = log2_exact(n_sets)
         self._weak_nt = (1 << (counter_bits - 1)) - 1
-        self._valid = np.zeros(n_sets, dtype=bool)
-        self._tags = np.zeros(n_sets, dtype=np.int64)
-        self._ctrs = np.full((n_sets, fetch_width), self._weak_nt, dtype=np.uint8)
+        self._spec = self._build_spec()
+        self._counters = DerivedTable(
+            self._spec.tables[0], init={"ctr": self._weak_nt}
+        )
+        self._tagstore = DerivedTable(self._spec.tables[1])
+        self.derived_tables = {
+            "counters": self._counters,
+            "tags": self._tagstore,
+        }
+        self._valid = self._tagstore.data("valid")
+        self._tags = self._tagstore.data("tag")
+        self._ctrs = self._counters.lanes("ctr")
 
     # ------------------------------------------------------------------
-    def _index_tag(self, fetch_pc: int, ghist: int) -> Tuple[int, int]:
+    def _tag(self, fetch_pc: int, ghist: int) -> int:
+        """Custom tag hash (no declared closed form)."""
         packet = (fetch_pc - (fetch_pc % self.fetch_width)) // self.fetch_width
-        folded = fold_history(ghist, self.history_bits, self._index_bits)
-        index = hash_pc(packet, self._index_bits) ^ folded
-        tag = (
+        return (
             (packet >> 2)
             ^ fold_history(ghist, self.history_bits, self.tag_bits)
         ) & mask(self.tag_bits)
-        return index, tag
+
+    def _index_tag(self, fetch_pc: int, ghist: int) -> Tuple[int, int]:
+        return (
+            self._counters.row(fetch_pc, ghist),
+            self._tag(fetch_pc, ghist),
+        )
+
+    def tag_columns(self, ctx) -> np.ndarray:
+        """Vectorized :meth:`_tag` — the generated kernel's gate hook."""
+        from repro.kernels.vector_ops import fold_history_vec
+
+        packet = ctx.aligned // self.fetch_width
+        return (
+            (packet >> 2)
+            ^ fold_history_vec(ctx.req_ghist, self.history_bits, self.tag_bits)
+        ) & mask(self.tag_bits)
 
     def lookup(
         self, req: PredictRequest, predict_in: Sequence[PredictionVector]
@@ -100,18 +123,22 @@ class GTag(PredictorComponent):
         was_hit = bool(fields["hit"])
         if was_hit:
             counters = fields["ctr"]
-            row = self._ctrs[index]
             for slot_idx, is_branch in enumerate(bundle.br_mask):
                 if is_branch:
                     lane = offset + slot_idx
-                    row[lane] = saturating_update(
-                        int(counters[lane]),
+                    # Closed-form train from the predict-time counter in
+                    # the metadata (§III-D).
+                    self._counters.train(
+                        index,
                         bundle.taken_mask[slot_idx],
-                        self.counter_bits,
+                        lane=lane if self.fetch_width > 1 else None,
+                        counter=int(counters[lane]),
                     )
         elif bundle.mispredicted:
             # Allocate on a misprediction the backing predictor got wrong:
             # claim the set, seeding counters weakly toward the outcomes.
+            # The allocate-on-miss walk is not closed-form; it writes the
+            # derived arrays directly.
             self._valid[index] = True
             self._tags[index] = tag
             self._ctrs[index, :] = self._weak_nt
@@ -125,26 +152,21 @@ class GTag(PredictorComponent):
 
     # ------------------------------------------------------------------
     def storage(self) -> StorageReport:
-        counter_bits = self.n_sets * self.fetch_width * self.counter_bits
-        tag_bits = self.n_sets * (self.tag_bits + 1)
-        return StorageReport(
-            self.name,
-            sram_bits=counter_bits + tag_bits,
-            breakdown={"counters": counter_bits, "tags": tag_bits},
-            access_bits=self.fetch_width * self.counter_bits + self.tag_bits + 1,
-        )
+        return derived_storage(self.name, self._spec)
 
     def reset(self) -> None:
-        self._valid.fill(False)
-        self._tags.fill(0)
-        self._ctrs.fill(self._weak_nt)
+        self._counters.reset()
+        self._tagstore.reset()
 
     def columnar_kernel(self):
-        from repro.kernels.components import GTagKernel
+        from repro.derive.kernels import derived_kernel
 
-        return GTagKernel(self)
+        return derived_kernel(self)
 
     def spec(self):
+        return self._spec
+
+    def _build_spec(self):
         from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
 
         index = IndexFn(

@@ -20,26 +20,27 @@ keeps it consistent using the event protocol: histories advance
 speculatively at ``fire`` time and are restored from metadata on ``repair``
 and ``mispredict`` — the same discipline the loop predictor follows, which
 is exactly why the paper's interface carries metadata to those events.
+
+Both levels are spec-derived (:mod:`repro.derive`): storage lives in
+:class:`~repro.derive.tables.DerivedTable` arrays, the level-1 row hash
+and the G variants' raw-history level-2 row come from the declared
+:class:`~repro.spec.IndexFn` closed forms, pattern training and the
+history shifts apply the declared update rules, and the G variants'
+columnar kernel is generated.  The speculative fire/repair protocol (an
+``exact-event`` rule) and the P variants' level-2 index (``custom``, fed
+from their own level-1 registers) stay hand-written hooks.
 """
 
 from __future__ import annotations
 
 from typing import Sequence, Tuple
 
-import numpy as np
-
-from repro._util import (
-    counter_taken,
-    hash_pc,
-    log2_exact,
-    mask,
-    saturating_update,
-    shift_in,
-)
+from repro._util import counter_taken, log2_exact, mask
 from repro.components.base import MetaCodec
 from repro.core.events import PredictRequest, UpdateBundle
 from repro.core.interface import InterfaceError, PredictorComponent, StorageReport
 from repro.core.prediction import PredictionVector
+from repro.derive.tables import DerivedTable, derived_storage
 
 VARIANTS = ("GAg", "GAp", "PAg", "PAp")
 
@@ -98,19 +99,32 @@ class TwoLevel(PredictorComponent):
         self.l1_entries = l1_entries
         self._l1_index_bits = log2_exact(l1_entries)
         self._weak_nt = (1 << (counter_bits - 1)) - 1
-        # Level 1: per-branch history registers (P variants only).
-        self._l1 = np.zeros(l1_entries, dtype=np.int64)
-        # Level 2: pattern tables.
         self.l2_tables = l2_tables if variant.endswith("p") else 1
         self.l2_sets = l2_sets_per_table
         self._l2_index_bits = log2_exact(l2_sets_per_table)
-        self._l2 = np.full(
-            (self.l2_tables, l2_sets_per_table), self._weak_nt, dtype=np.uint8
+        self._spec = self._build_spec()
+        # Level 1: per-branch history registers.  The G variants read the
+        # composer's single global register instead, so their level-1 spec
+        # table is elided — but the array is still allocated (zero bits of
+        # declared storage, zero-filled) to keep the state layout uniform.
+        self._l1_table = DerivedTable(self._l1_table_spec())
+        # Level 2: pattern tables.
+        self._l2_table = DerivedTable(
+            self._spec.tables[-1], init={"ctr": self._weak_nt}
+        )
+        self.derived_tables = {
+            "l1_histories": self._l1_table,
+            "l2_patterns": self._l2_table,
+        }
+        self._l1 = self._l1_table.data("hist")
+        # Legacy-shaped 2-D view (tables x sets), also when l2_tables == 1.
+        self._l2 = self._l2_table.data("ctr").reshape(
+            self.l2_tables, self.l2_sets
         )
 
     # ------------------------------------------------------------------
     def _l1_index(self, branch_pc: int) -> int:
-        return hash_pc(branch_pc, self._l1_index_bits)
+        return self._l1_table.row(branch_pc)
 
     def _level1_history(self, branch_pc: int, ghist: int) -> int:
         if self.variant.startswith("G"):
@@ -118,10 +132,11 @@ class TwoLevel(PredictorComponent):
         return int(self._l1[self._l1_index(branch_pc)]) & mask(self.history_bits)
 
     def _l2_slot(self, branch_pc: int, history: int) -> Tuple[int, int]:
-        table = (
-            hash_pc(branch_pc, max(1, (self.l2_tables - 1).bit_length()))
-            % self.l2_tables
-        )
+        # Way selection is the derived runtime's hash; the row is the
+        # level-1 history's low index bits (the G variants' declared
+        # ghist_raw closed form; a custom hook for the P variants, whose
+        # history comes from their own registers).
+        table = self._l2_table.way_of(branch_pc)
         index = history & mask(self._l2_index_bits)
         return table, index
 
@@ -163,9 +178,8 @@ class TwoLevel(PredictorComponent):
         if info is None:
             return
         lane, _, _ = info
-        index = self._l1_index(bundle.fetch_pc + lane)
-        self._l1[index] = shift_in(
-            int(self._l1[index]), bundle.taken_mask[lane], self.history_bits
+        self._l1_table.roll(
+            self._l1_index(bundle.fetch_pc + lane), bundle.taken_mask[lane]
         )
 
     def on_repair(self, bundle: UpdateBundle) -> None:
@@ -186,8 +200,11 @@ class TwoLevel(PredictorComponent):
         if info is None:
             return
         lane, history, _ = info
-        corrected = shift_in(history, bundle.taken_mask[lane], self.history_bits)
-        self._l1[self._l1_index(bundle.fetch_pc + lane)] = corrected
+        self._l1_table.roll(
+            self._l1_index(bundle.fetch_pc + lane),
+            bundle.taken_mask[lane],
+            current=history,
+        )
 
     def on_update(self, bundle: UpdateBundle) -> None:
         """Commit-time pattern-table training from the metadata counter."""
@@ -195,57 +212,60 @@ class TwoLevel(PredictorComponent):
         if info is None:
             return
         lane, history, counter = info
-        taken = bundle.taken_mask[lane]
         table, index = self._l2_slot(bundle.fetch_pc + lane, history)
-        self._l2[table, index] = saturating_update(
-            counter, taken, self.counter_bits
+        self._l2_table.train(
+            index, bundle.taken_mask[lane], way=table, counter=counter
         )
 
     # ------------------------------------------------------------------
     def storage(self) -> StorageReport:
-        l1_bits = (
-            0 if self.variant.startswith("G") else self.l1_entries * self.history_bits
-        )
-        l2_bits = self.l2_tables * self.l2_sets * self.counter_bits
-        return StorageReport(
+        return derived_storage(
             self.name,
-            sram_bits=l1_bits + l2_bits,
-            breakdown={"l1_histories": l1_bits, "l2_patterns": l2_bits},
+            self._spec,
+            # One level-1 register read plus one pattern counter read per
+            # prediction, for every variant (the G variants read the
+            # composer's register, same width).
             access_bits=self.history_bits + self.counter_bits,
+            zero_keys=("l1_histories",),
         )
 
     def reset(self) -> None:
-        self._l1.fill(0)
-        self._l2.fill(self._weak_nt)
+        self._l1_table.reset()
+        self._l2_table.reset()
 
     def columnar_kernel(self):
         # P variants speculatively advance per-branch level-1 registers at
-        # fire time on every candidate packet; they stay scalar.
-        if not self.variant.startswith("G"):
-            return None
-        from repro.kernels.components import TwoLevelKernel
+        # fire time on every candidate packet; their spec declares
+        # kernel="none" and the generator returns None for them.
+        from repro.derive.kernels import derived_kernel
 
-        return TwoLevelKernel(self)
+        return derived_kernel(self)
 
     def spec(self):
+        return self._spec
+
+    def _l1_table_spec(self):
+        from repro.spec import FieldSpec, IndexFn, TableSpec
+
+        return TableSpec(
+            "l1_histories",
+            entries=self.l1_entries,
+            fields=(FieldSpec("hist", self.history_bits),),
+            # Speculative fire/repair shift protocol, not a pure
+            # commit-time shift-in.
+            update="exact-event",
+            index=IndexFn("pc", self._l1_index_bits, key="branch_pc"),
+            probe=lambda c, pc, g, l, p: c._l1_index(pc),
+        )
+
+    def _build_spec(self):
         from repro.spec import ComponentSpec, FieldSpec, IndexFn, TableSpec
 
         lane_bits = max(1, (self.fetch_width - 1).bit_length())
         global_l1 = self.variant.startswith("G")
         tables = []
         if not global_l1:
-            tables.append(
-                TableSpec(
-                    "l1_histories",
-                    entries=self.l1_entries,
-                    fields=(FieldSpec("hist", self.history_bits),),
-                    # Speculative fire/repair shift protocol, not a pure
-                    # commit-time shift-in.
-                    update="exact-event",
-                    index=IndexFn("pc", self._l1_index_bits, key="branch_pc"),
-                    probe=lambda c, pc, g, l, p: c._l1_index(pc),
-                )
-            )
+            tables.append(self._l1_table_spec())
         tables.append(
             TableSpec(
                 "l2_patterns",

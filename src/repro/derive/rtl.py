@@ -1,0 +1,269 @@
+"""Per-table Verilog emission from :class:`TableSpec`/:class:`IndexFn`.
+
+The third leg of the derivation layer: where :mod:`repro.derive.tables`
+executes a spec in Python and :mod:`repro.derive.kernels` vectorizes it,
+this module renders it as structural Verilog-2001 — one module per
+declared table, with
+
+- a **memory array** sized ``entries * ways`` rows of ``entry_bits``
+  (the :class:`~repro.spec.FieldSpec` packing, LSB-first, matching
+  :meth:`DerivedTable.pack_entry <repro.derive.tables.DerivedTable.pack_entry>`);
+- the **index hash**: the declared :class:`~repro.spec.IndexFn` closed
+  form (``hash_pc``, folded-history XOR, gshare/gselect combinations,
+  raw low history bits) as combinational assigns, so the read row is
+  computed inside the table module exactly as the Python runtime
+  computes it;
+- a **read port** (``rdata`` for the hashed row) and an **update port**
+  (``wen``/``waddr``/``wdata``), plus the closed-form next-state helper
+  the update rule implies: a saturating inc/dec function for
+  ``saturating-counter`` tables, a shift-in function for
+  ``shift-register`` tables.  ``allocate-on-miss`` and ``exact-event``
+  tables get the raw write port with the rule noted — their update walks
+  are component-specific, like their Python counterparts.
+
+``custom``-indexed tables take the row as an input port (the hash has no
+declared closed form); ``none``-indexed (CAM) tables omit the read index
+entirely.  :mod:`repro.rtl.verilog` instantiates these modules inside
+each component's unit module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro._util import is_power_of_two, log2_exact
+from repro.spec import IndexFn, TableSpec
+
+#: Fetch-PC width of the shared buses (mirrors ``repro.rtl.verilog``).
+PC_BITS = 30
+
+
+def table_module_name(component_name: str, table: TableSpec) -> str:
+    return f"{component_name}_{table.name}_table"
+
+
+def history_port(fn: Optional[IndexFn]) -> Optional[tuple]:
+    """``(port_name, width)`` of the history input a table needs, if any."""
+    if fn is None:
+        return None
+    if fn.scheme in ("ghist", "gshare", "ghist_raw"):
+        return ("ghist", fn.history_bits)
+    if fn.scheme == "gselect":
+        return ("ghist", max(1, fn.index_bits // 2))
+    if fn.scheme == "lhist":
+        return ("lhist", fn.history_bits)
+    if fn.scheme in ("phist", "pshare"):
+        return ("phist", fn.history_bits)
+    return None
+
+
+def _uses_pc(fn: Optional[IndexFn]) -> bool:
+    return fn is not None and fn.scheme in (
+        "pc",
+        "gshare",
+        "gselect",
+        "lhist",
+        "pshare",
+    )
+
+
+def _pc_key_expr(fn: IndexFn) -> str:
+    """The hashed PC key: packet number or raw branch PC."""
+    if fn.key == "packet" and fn.fetch_width > 1:
+        assert is_power_of_two(fn.fetch_width)
+        return f"(pc >> {log2_exact(fn.fetch_width)})"
+    return "pc"
+
+
+def _hash_pc_expr(key: str, bits: int) -> str:
+    """``hash_pc``: the PC folded onto ``bits`` by two shifted XORs."""
+    return f"({key} ^ ({key} >> {bits}) ^ ({key} >> {2 * bits}))"
+
+def _fold_expr(port: str, history_bits: int, bits: int) -> str:
+    """``fold_history``: XOR of ``bits``-wide chunks of the register."""
+    if history_bits <= bits:
+        return port
+    chunks = []
+    lo = 0
+    while lo < history_bits:
+        hi = min(history_bits, lo + bits) - 1
+        chunks.append(f"{port}[{hi}:{lo}]")
+        lo += bits
+    return "(" + " ^ ".join(chunks) + ")"
+
+
+def _index_hash_lines(fn: IndexFn, index_bits: int) -> List[str]:
+    """Combinational assigns computing ``rindex`` from the closed form."""
+    decl = f"    wire [{index_bits - 1}:0] rindex ="
+    if fn.scheme == "pc":
+        return [f"{decl} {_hash_pc_expr(_pc_key_expr(fn), index_bits)};"]
+    if fn.scheme == "ghist":
+        return [f"{decl} {_fold_expr('ghist', fn.history_bits, index_bits)};"]
+    if fn.scheme == "gshare":
+        return [
+            f"{decl} {_hash_pc_expr(_pc_key_expr(fn), index_bits)}",
+            f"        ^ {_fold_expr('ghist', fn.history_bits, index_bits)};",
+        ]
+    if fn.scheme == "gselect":
+        hist_part = index_bits // 2
+        pc_part = index_bits - hist_part
+        pc_hash = _hash_pc_expr(_pc_key_expr(fn), pc_part)
+        return [
+            f"    wire [{pc_part - 1}:0] pc_hash = {pc_hash};",
+            f"{decl} {{pc_hash, ghist[{hist_part - 1}:0]}};",
+        ]
+    if fn.scheme == "ghist_raw":
+        low = min(fn.history_bits, index_bits)
+        return [f"{decl} ghist[{low - 1}:0];"]
+    if fn.scheme == "lhist":
+        pc_bits = max(index_bits - 2, 1)
+        return [
+            f"{decl} {_fold_expr('lhist', fn.history_bits, index_bits)}",
+            f"        ^ {_hash_pc_expr(_pc_key_expr(fn), pc_bits)};",
+        ]
+    if fn.scheme == "phist":
+        return [f"{decl} {_fold_expr('phist', fn.history_bits, index_bits)};"]
+    assert fn.scheme == "pshare", fn.scheme
+    return [
+        f"{decl} {_hash_pc_expr(_pc_key_expr(fn), index_bits)}",
+        f"        ^ {_fold_expr('phist', fn.history_bits, index_bits)};",
+    ]
+
+
+def _update_helper_lines(table: TableSpec) -> List[str]:
+    """The closed-form next-state function the update rule implies."""
+    field = table.fields[0]
+    bits = field.bits
+    if table.update == "saturating-counter":
+        top = (1 << bits) - 1
+        return [
+            f"    // saturating-counter closed form ({bits}-bit lanes)",
+            f"    function [{bits - 1}:0] ctr_next;",
+            f"        input [{bits - 1}:0] cur;",
+            "        input taken;",
+            "        begin",
+            f"            ctr_next = taken ? (cur == {bits}'d{top} ? cur"
+            " : cur + 1'b1)",
+            f"                             : (cur == {bits}'d0 ? cur"
+            " : cur - 1'b1);",
+            "        end",
+            "    endfunction",
+        ]
+    if table.update == "shift-register":
+        return [
+            f"    // shift-register closed form ({bits}-bit register)",
+            f"    function [{bits - 1}:0] hist_next;",
+            f"        input [{bits - 1}:0] cur;",
+            "        input taken;",
+            "        begin",
+            f"            hist_next = {{cur[{bits - 2}:0], taken}};"
+            if bits > 1
+            else "            hist_next = taken;",
+            "        end",
+            "    endfunction",
+        ]
+    return [
+        f"    // update rule {table.update!r}: write walk is"
+        " component-specific",
+    ]
+
+
+def emit_table_module(component_name: str, table: TableSpec) -> str:
+    """One Verilog module realizing a declared table."""
+    fn = table.index
+    rows = table.entries * table.ways
+    addr_bits = max(1, (rows - 1).bit_length())
+    entry_bits = table.entry_bits
+    fields = ", ".join(
+        f"{f.name}[{f.bits}]" + (f" x{f.count}" if f.count > 1 else "")
+        for f in table.fields
+    )
+    ports: List[str] = ["    input  wire clk,"]
+    if _uses_pc(fn):
+        ports.append(f"    input  wire [{PC_BITS - 1}:0] pc,")
+    hist = history_port(fn)
+    if hist is not None:
+        ports.append(f"    input  wire [{hist[1] - 1}:0] {hist[0]},")
+    body: List[str] = []
+    scheme = fn.scheme if fn is not None else "none"
+    if scheme == "custom":
+        ports.append(f"    input  wire [{fn.index_bits - 1}:0] rindex,")
+        body.append("    // custom index hash: computed by the component")
+    elif scheme == "none":
+        body.append(
+            "    // fully associative (CAM): match logic is"
+            " component-specific"
+        )
+    else:
+        body.extend(_index_hash_lines(fn, fn.index_bits))
+    if scheme != "none":
+        ports.append(f"    output wire [{entry_bits - 1}:0] rdata,")
+        body.append("    assign rdata = mem[rindex];")
+    ports.extend(
+        [
+            "    // update port",
+            "    input  wire wen,",
+            f"    input  wire [{addr_bits - 1}:0] waddr,",
+            f"    input  wire [{entry_bits - 1}:0] wdata",
+        ]
+    )
+    helper = _update_helper_lines(table)
+    lines = [
+        f"// {table.kind} table {table.name!r}: {table.entries} entries x "
+        f"{table.ways} way(s), {entry_bits}-bit entries ({fields})",
+        f"module {table_module_name(component_name, table)} (",
+        *ports,
+        ");",
+        f"    reg [{entry_bits - 1}:0] mem [0:{rows - 1}];",
+        *body,
+        *helper,
+        "    always @(posedge clk) begin",
+        "        if (wen) mem[waddr] <= wdata;",
+        "    end",
+        "endmodule",
+        "",
+    ]
+    return "\n".join(lines)
+
+
+def table_instance_lines(component_name: str, table: TableSpec) -> List[str]:
+    """Wires + instantiation of a table module inside its unit module."""
+    fn = table.index
+    entry_bits = table.entry_bits
+    rows = table.entries * table.ways
+    addr_bits = max(1, (rows - 1).bit_length())
+    scheme = fn.scheme if fn is not None else "none"
+    conns = [".clk(clk)"]
+    if _uses_pc(fn):
+        conns.append(".pc(fetch_pc)")
+    hist = history_port(fn)
+    if hist is not None:
+        port, width = hist
+        conns.append(f".{port}({port}[{width - 1}:0])")
+    lines = []
+    if scheme == "custom":
+        lines.append(
+            f"    wire [{fn.index_bits - 1}:0] {table.name}_rindex;"
+            " // component hash"
+        )
+        conns.append(f".rindex({table.name}_rindex)")
+    if scheme != "none":
+        lines.append(f"    wire [{entry_bits - 1}:0] {table.name}_rdata;")
+        conns.append(f".rdata({table.name}_rdata)")
+    lines.extend(
+        [
+            f"    wire {table.name}_wen;",
+            f"    wire [{addr_bits - 1}:0] {table.name}_waddr;",
+            f"    wire [{entry_bits - 1}:0] {table.name}_wdata;",
+        ]
+    )
+    conns.extend(
+        [
+            f".wen({table.name}_wen)",
+            f".waddr({table.name}_waddr)",
+            f".wdata({table.name}_wdata)",
+        ]
+    )
+    name = table_module_name(component_name, table)
+    lines.append(f"    {name} u_{table.name} ({', '.join(conns)});")
+    return lines

@@ -33,6 +33,13 @@ reports every disagreement as a :class:`Mismatch`.  The catalog:
     sizings — must conform to its declarative
     :class:`repro.spec.ComponentSpec` (zero error-severity SPEC
     diagnostics).
+``derive``
+    For composed components in the spec-derived families (HBIM, the
+    two-level variants, GTag), a fresh twin built through
+    :mod:`repro.derive` must be bit-identical — prediction and metadata,
+    step for step — to the frozen pre-refactor reference implementation
+    (:mod:`repro.derive.reference`) on seeded stimulus at the case's
+    fuzz-drawn sizing.
 
 Any exception inside an oracle is itself a finding (subject ``crash``):
 generated inputs must never crash the framework.
@@ -431,6 +438,46 @@ def oracle_spec(case: FuzzCase, scratch: Path) -> List[Mismatch]:
     ]
 
 
+def oracle_derive(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Spec-derived scalar paths must match the pre-refactor references.
+
+    For every composed component in a migrated family (HBIM, two-level,
+    GTag), builds a fresh twin pair — one through :mod:`repro.derive`,
+    one frozen pre-refactor copy (:mod:`repro.derive.reference`) — at the
+    case's fuzz-drawn sizing and drives both with identical seeded
+    stimulus.  Predictions and metadata must be bit-identical step for
+    step: the SPEC009 check widened from the shipped library defaults to
+    whatever sizings the fuzzer draws.
+    """
+    from repro.analysis.contracts import _drive
+    from repro.derive.reference import twin_dims, twin_pair
+
+    predictor = case.build_predictor()
+    mismatches: List[Mismatch] = []
+    for component in predictor.components:
+        pair = twin_pair(component)
+        if pair is None:
+            continue
+        derived, reference = pair
+        dims = twin_dims(derived)
+        derived_log = _drive(derived, case.seed, 96, dims=dims)
+        reference_log = _drive(reference, case.seed, 96, dims=dims)
+        for step, (got, want) in enumerate(zip(derived_log, reference_log)):
+            if got != want:
+                mismatches.append(
+                    Mismatch(
+                        "derive",
+                        f"{component.name}-step{step}",
+                        {"log": want},
+                        {"log": got},
+                        f"{type(component).__name__} derived path diverges "
+                        f"from its reference at step {step}",
+                    )
+                )
+                break  # first divergence per component is enough
+    return mismatches
+
+
 #: Oracle registry, in default execution order.
 ORACLES: Dict[str, Callable[[FuzzCase, Path], List[Mismatch]]] = {
     "backends": oracle_backends,
@@ -439,6 +486,7 @@ ORACLES: Dict[str, Callable[[FuzzCase, Path], List[Mismatch]]] = {
     "telemetry": oracle_telemetry,
     "check": oracle_check,
     "spec": oracle_spec,
+    "derive": oracle_derive,
 }
 
 DEFAULT_ORACLES = tuple(ORACLES)

@@ -1,7 +1,13 @@
-"""Batch kernels: columnar ports of the table-based component lookups.
+"""Batch kernels: columnar ports of the custom-walk component lookups.
 
-One kernel class per component type.  Each implements the three-phase
-protocol the :class:`~repro.kernels.engine.SegmentEngine` drives:
+Hand-written kernels for the components whose lookups are not
+closed-form over a declared spec (BTB/MicroBTB allocation+LRU, TAGE's
+tagged cascade, the loop predictor).  The simple indexed-counter
+families (HBIM, two-level G variants, GTag) get their kernels
+*generated* from their :class:`~repro.spec.ComponentSpec` by
+:mod:`repro.derive.kernels` instead.  Both implement the same
+three-phase protocol the :class:`~repro.kernels.engine.SegmentEngine`
+drives:
 
 ``lookup(ctx, state)``
     The component's scalar ``lookup`` over every packet in the window at
@@ -50,213 +56,12 @@ from repro.kernels.vector_ops import (
     counter_taken_vec,
     earlier_dirty_same_key,
     fold_history_multi,
-    fold_history_vec,
     forward_saturating,
     hash_pc_multi,
     hash_pc_vec,
     saturating_changes_vec,
     saturating_update_vec,
 )
-
-
-class HBIMKernel:
-    """Columnar :class:`~repro.components.bimodal.HBIM` (global schemes).
-
-    Only the PC/global-history index schemes are supported; local- and
-    path-history schemes read providers the engine does not columnarize,
-    and ``HBIM.columnar_kernel`` returns None for them.
-    """
-
-    def __init__(self, component):
-        self.c = component
-
-    def _index(self, ctx):
-        c = self.c
-        scheme = c._scheme
-        bits = scheme.index_bits
-        packet = ctx.aligned // c.fetch_width
-        if scheme.scheme == "pc":
-            return hash_pc_vec(packet, bits)
-        hist_bits = scheme.history_bits
-        if scheme.scheme == "ghist":
-            return fold_history_vec(ctx.req_ghist, hist_bits, bits)
-        if scheme.scheme == "gshare":
-            return hash_pc_vec(packet, bits) ^ fold_history_vec(
-                ctx.req_ghist, hist_bits, bits
-            )
-        assert scheme.scheme == "gselect", scheme.scheme
-        hist_part = bits // 2
-        pc_part = bits - hist_part
-        low = (ctx.req_ghist & np.uint64(mask(hist_part))).astype(np.int64)
-        return (hash_pc_vec(packet, pc_part) << hist_part) | low
-
-    def lookup(self, ctx, state):
-        c = self.c
-        idx = self._index(ctx)
-        # Forward every (row, lane) counter through the window: the value
-        # each packet reads equals the scalar sequential value, so counter
-        # movement never cuts a segment — HBIM has no allocations and its
-        # updates come from predict-time metadata.
-        key = (idx[:, None] * ctx.W + np.arange(ctx.W)[None, :]).ravel()
-        upd = ctx.upd_cond.ravel()
-        taken = ctx.rtaken_grid.ravel()
-        v0 = c._table[idx].astype(np.int64).ravel()
-        pre, _post, _last = forward_saturating(
-            key, upd, taken, v0, c.counter_bits
-        )
-        rows = pre.reshape(ctx.P, ctx.W)
-        ctx.scratch[c.name] = (key, upd, taken, v0)
-        out = state.copy()
-        # Every slot hits; non-jump slots take the counter's direction.
-        sel = ctx.lane_valid & ~out.is_jump
-        out.hit = out.hit | ctx.lane_valid
-        out.taken = np.where(
-            sel, counter_taken_vec(rows, c.counter_bits), out.taken
-        )
-        return out
-
-    def mutates(self, ctx):
-        return np.zeros(ctx.P, dtype=bool)
-
-    def commit(self, ctx, accepted):
-        c = self.c
-        key, upd, taken, v0 = ctx.scratch[c.name]
-        n = accepted * ctx.W
-        _pre, post, last = forward_saturating(
-            key[:n], upd[:n], taken[:n], v0[:n], c.counter_bits
-        )
-        sel = last & (post != v0[:n])
-        if sel.any():
-            kk = key[:n][sel]
-            c._table[kk // ctx.W, kk % ctx.W] = post[sel].astype(
-                c._table.dtype
-            )
-
-
-class GTagKernel:
-    """Columnar :class:`~repro.components.gtag.GTag`."""
-
-    def __init__(self, component):
-        self.c = component
-
-    def lookup(self, ctx, state):
-        c = self.c
-        packet = ctx.aligned // c.fetch_width
-        idx = hash_pc_vec(packet, c._index_bits) ^ fold_history_vec(
-            ctx.req_ghist, c.history_bits, c._index_bits
-        )
-        tag = (
-            (packet >> 2)
-            ^ fold_history_vec(ctx.req_ghist, c.history_bits, c.tag_bits)
-        ) & mask(c.tag_bits)
-        hit = c._valid[idx] & (c._tags[idx] == tag)
-        rows = c._ctrs[idx].astype(np.int64)
-        # Hit packets read and train their counter row from predict-time
-        # metadata; forwarding the row values makes those trains free.  A
-        # miss neither reads the counters nor writes without a mispredict
-        # (allocation), and mispredicted packets are cut by the direction
-        # check — so tags and valids stay frozen-exact.
-        hrows = np.flatnonzero(hit)
-        key = (idx[hrows, None] * ctx.W + np.arange(ctx.W)[None, :]).ravel()
-        upd = ctx.upd_cond[hrows].ravel()
-        taken = ctx.rtaken_grid[hrows].ravel()
-        v0 = rows[hrows].ravel()
-        if len(hrows):
-            pre, _post, _last = forward_saturating(
-                key, upd, taken, v0, c.counter_bits
-            )
-            rows = rows.copy()
-            rows[hrows] = pre.reshape(len(hrows), ctx.W)
-        ctx.scratch[c.name] = (hrows, key, upd, taken, v0)
-        out = state.copy()
-        sel = hit[:, None] & ctx.lane_valid & ~out.is_jump
-        out.hit = out.hit | sel
-        out.taken = np.where(
-            sel, counter_taken_vec(rows, c.counter_bits), out.taken
-        )
-        return out
-
-    def mutates(self, ctx):
-        return np.zeros(ctx.P, dtype=bool)
-
-    def commit(self, ctx, accepted):
-        c = self.c
-        hrows, key, upd, taken, v0 = ctx.scratch[c.name]
-        n = int(np.searchsorted(hrows, accepted)) * ctx.W
-        if n == 0:
-            return
-        _pre, post, last = forward_saturating(
-            key[:n], upd[:n], taken[:n], v0[:n], c.counter_bits
-        )
-        sel = last & (post != v0[:n])
-        if sel.any():
-            kk = key[:n][sel]
-            c._ctrs[kk // ctx.W, kk % ctx.W] = post[sel].astype(c._ctrs.dtype)
-
-
-class TwoLevelKernel:
-    """Columnar :class:`~repro.components.twolevel.TwoLevel` (GAg/GAp).
-
-    P variants own per-branch level-1 registers mutated at ``fire`` time on
-    every candidate packet; they stay scalar (``columnar_kernel`` → None).
-    """
-
-    def __init__(self, component):
-        self.c = component
-
-    def lookup(self, ctx, state):
-        c = self.c
-        cand_grid = state.hit & state.is_branch & ctx.lane_valid
-        has_cand = cand_grid.any(axis=1)
-        cand = np.argmax(cand_grid, axis=1)  # first candidate lane
-        branch_pc = ctx.aligned + cand
-        history = (ctx.req_ghist & np.uint64(mask(c.history_bits))).astype(
-            np.int64
-        )
-        table_bits = max(1, (c.l2_tables - 1).bit_length())
-        table = hash_pc_vec(branch_pc, table_bits) % c.l2_tables
-        index = history & mask(c._l2_index_bits)
-        ctr = c._l2[table, index].astype(np.int64)
-        # One pattern counter read + trained per candidate packet, from
-        # predict-time metadata: forward it through the window.
-        rows = np.arange(ctx.P)
-        crows = np.flatnonzero(has_cand)
-        key = (table * c.l2_sets + index)[crows]
-        upd = (has_cand & ctx.upd_cond[rows, cand])[crows]
-        taken = ctx.rtaken_grid[rows, cand][crows]
-        v0 = ctr[crows]
-        if len(crows):
-            pre, _post, _last = forward_saturating(
-                key, upd, taken, v0, c.counter_bits
-            )
-            ctr = ctr.copy()
-            ctr[crows] = pre
-        ctx.scratch[c.name] = (crows, key, upd, taken, v0)
-        out = state.copy()
-        out.hit[crows, cand[crows]] = True
-        out.taken[crows, cand[crows]] = counter_taken_vec(
-            ctr[crows], c.counter_bits
-        )
-        return out
-
-    def mutates(self, ctx):
-        return np.zeros(ctx.P, dtype=bool)
-
-    def commit(self, ctx, accepted):
-        c = self.c
-        crows, key, upd, taken, v0 = ctx.scratch[c.name]
-        n = int(np.searchsorted(crows, accepted))
-        if n == 0:
-            return
-        _pre, post, last = forward_saturating(
-            key[:n], upd[:n], taken[:n], v0[:n], c.counter_bits
-        )
-        sel = last & (post != v0[:n])
-        if sel.any():
-            kk = key[:n][sel]
-            c._l2[kk // c.l2_sets, kk % c.l2_sets] = post[sel].astype(
-                c._l2.dtype
-            )
 
 
 class BTBKernel:

@@ -5,7 +5,16 @@ module wiring the COBRA interface (§III): the predict request broadcast,
 per-stage prediction buses with override muxing in topology order, the
 five event strobes, and per-component metadata ports sized to each
 component's declared ``meta_bits`` — the interface contract rendered as
-ports.  Component internals are stubbed (`/* datapath here */`).
+ports.
+
+For a component that declares a :class:`~repro.spec.ComponentSpec`, the
+storage is no longer a stub: each declared table becomes a real module
+(:func:`repro.derive.rtl.emit_table_module` — memory array, index hash
+from the declared closed form, update port) instantiated inside the
+unit module, so one spec drives the Python runtime, the columnar
+kernels, and the RTL.  Only the prediction/update *glue* between the
+table read ports and the event interface remains stubbed
+(`/* datapath here */`).
 
 The output is syntactically plain Verilog-2001 and is intended as a
 starting point / documentation artifact, not verified RTL.
@@ -17,6 +26,7 @@ from typing import List
 
 from repro.core.composer import ComposedPredictor
 from repro.core.topology import Arbitrate, Leaf, Override, TopologyNode
+from repro.derive.rtl import emit_table_module, table_instance_lines
 
 #: Bit widths of the shared buses.
 PC_BITS = 30
@@ -27,9 +37,25 @@ def _pred_bus_bits(fetch_width: int) -> int:
     return fetch_width * PRED_BITS_PER_SLOT
 
 
+def _component_spec(component):
+    try:
+        return component.spec()
+    except Exception:
+        return None
+
+
 def _component_module(component, fetch_width: int, ghist_bits: int) -> str:
     """One sub-component module with the full event interface."""
     pred_bits = _pred_bus_bits(fetch_width)
+    spec = _component_spec(component)
+    storage_lines: List[str] = []
+    if spec is not None and spec.tables:
+        storage_lines.append(
+            "    // declared storage: one module per spec table"
+        )
+        for table in spec.tables:
+            storage_lines.extend(table_instance_lines(component.name, table))
+    storage_text = ("\n".join(storage_lines) + "\n") if storage_lines else ""
     n_in = component.n_inputs
     inputs = "\n".join(
         f"    input  wire [{pred_bits - 1}:0] predict_in{i},"
@@ -64,7 +90,7 @@ module {component.name}_unit (
     input  wire [{fetch_width - 1}:0] event_br_mask,
     input  wire [{fetch_width - 1}:0] event_taken_mask
 );
-    /* datapath here: {component.meta_bits}-bit metadata,
+{storage_text}    /* datapath here: {component.meta_bits}-bit metadata,
        storage = {component.storage().total_bits} bits */
     assign predict_out = predict_in0;
     assign meta_out = {{{meta_bits}{{1'b0}}}};
@@ -123,6 +149,10 @@ def generate_verilog_skeleton(predictor: ComposedPredictor) -> str:
     ]
     for component in predictor.components:
         parts.append(_component_module(component, fetch_width, ghist))
+        spec = _component_spec(component)
+        if spec is not None:
+            for table in spec.tables:
+                parts.append(emit_table_module(component.name, table))
 
     total_meta = sum(c.meta_bits for c in predictor.components)
     wiring: List[str] = []

@@ -154,9 +154,28 @@ class TestVerilogSkeleton:
         text = generate_verilog_skeleton(presets.tourney())
         assert "arbitration: tourney selects" in text
 
-    def test_one_module_per_component_plus_top(self):
-        text = generate_verilog_skeleton(presets.tage_l())
-        assert text.count("endmodule") == len(presets.tage_l().components) + 1
+    def test_one_module_per_component_and_table_plus_top(self):
+        predictor = presets.tage_l()
+        text = generate_verilog_skeleton(predictor)
+        tables = sum(
+            len(c.spec().tables) if c.spec() is not None else 0
+            for c in predictor.components
+        )
+        expected = len(predictor.components) + tables + 1
+        assert text.count("endmodule") == expected
+
+    def test_table_modules_instantiated_in_unit(self):
+        predictor = presets.b2()
+        text = generate_verilog_skeleton(predictor)
+        gtag_module = text.split("module gtag_unit")[1].split("endmodule")[0]
+        assert "gtag_counters_table u_counters" in gtag_module
+        assert "gtag_tags_table u_tags" in gtag_module
+        # The table module itself carries the declared closed forms.
+        counters = text.split("module gtag_counters_table")[1].split(
+            "endmodule"
+        )[0]
+        assert "reg [7:0] mem [0:511];" in counters
+        assert "function [1:0] ctr_next;" in counters
 
 
 class TestInstructionCache:
