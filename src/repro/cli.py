@@ -16,6 +16,9 @@ Commands
   server over the parallel engine; see ``docs/service.md``).
 - ``submit``   — submit evaluation jobs to a running service and report
   per-job results, warm-hit and dedup counts.
+- ``explore``  — budgeted evolutionary search over the topology grammar:
+  Pareto front of MPKI vs area vs predict latency, resumable via the
+  result cache (see ``docs/explore.md``).
 
 ``run`` and ``sweep`` take ``--backend {cycle,trace,replay}`` to pick the
 execution methodology (see ``docs/backends.md``); workloads are named
@@ -393,6 +396,71 @@ def _cmd_fuzz(args) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_explore(args) -> int:
+    from repro.explore import (
+        ExploreConfig,
+        check_explore_golden,
+        explore,
+        format_report,
+        save_artifact,
+        update_explore_golden,
+    )
+    from repro.explore.report import DEFAULT_GOLDEN_PATH, GOLDEN_EXPLORE_CONFIG
+
+    golden_path = Path(args.golden_path or DEFAULT_GOLDEN_PATH)
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+
+    if args.golden_update or args.golden_check:
+        result = explore(GOLDEN_EXPLORE_CONFIG, progress=progress)
+        if args.golden_update:
+            path = update_explore_golden(golden_path, result=result)
+            print(f"explore golden snapshot written to {path}")
+            return 0
+        ok, messages = check_explore_golden(golden_path, result=result)
+        if ok:
+            print("explore golden matches")
+            return 0
+        print(f"EXPLORE GOLDEN MISMATCH ({len(messages)} differences):")
+        for message in messages:
+            print(f"  {message}")
+        print(
+            "if the optimizer change is intentional, regenerate with "
+            "`repro explore --golden-update` and commit the diff"
+        )
+        return 1
+
+    config = ExploreConfig(
+        seed=args.seed,
+        generations=args.generations,
+        population_size=args.population,
+        budget_kib=args.budget_kib,
+        workloads=tuple(args.workloads),
+        scale=args.scale,
+        max_instructions=args.max_instructions,
+        backend=args.backend,
+        jobs=args.jobs,
+        cache=args.cache,
+        eta=args.eta,
+        rungs=args.rungs,
+    )
+    result = explore(config, progress=progress)
+    print(format_report(result))
+    if args.out is not None:
+        save_artifact(Path(args.out), result)
+        print(f"\nPareto artifact written to {args.out}")
+    if args.require_improvement and not result.provenance["dominated_seeds"]:
+        print(
+            "FAIL: the front does not strictly dominate any seeded preset "
+            "on MPKI-vs-area (--require-improvement)",
+            file=sys.stderr,
+        )
+        return 1
+    if not result.front:
+        print("FAIL: empty Pareto front", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -688,6 +756,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fuzz_repro.add_argument("reproducer", help="reproducer .npz path")
     fuzz_repro.set_defaults(func=_cmd_fuzz)
+
+    explore = sub.add_parser(
+        "explore",
+        help="budgeted Pareto search over the topology design space",
+    )
+    explore.add_argument("--seed", type=int, default=0,
+                         help="search seed; fully determines the run")
+    explore.add_argument("--generations", type=int, default=3)
+    explore.add_argument("--population", type=int, default=12,
+                         help="candidates per generation")
+    explore.add_argument("--budget-kib", type=float, default=96.0,
+                         help="per-candidate total storage budget (KiB)")
+    explore.add_argument("--workloads", nargs="+",
+                         default=["biased", "dispatch", "pattern_short",
+                                  "counted_loops", "pattern_long"],
+                         help="workload suite, cheap first (halving "
+                              "prefixes follow this order)")
+    explore.add_argument("--scale", type=float, default=0.2)
+    explore.add_argument("--max-instructions", type=int, default=4000,
+                         help="per-evaluation instruction budget")
+    explore.add_argument("--backend", default="trace", choices=BACKEND_NAMES,
+                         help="fitness backend (trace is the cheap default)")
+    explore.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per evaluation batch")
+    explore.add_argument("--cache", default=None, metavar="DIR",
+                         help="result-cache directory; reruns with the "
+                              "same seed replay from it with zero cold "
+                              "evaluations")
+    explore.add_argument("--eta", type=int, default=2,
+                         help="halving promotion factor (keep best 1/eta)")
+    explore.add_argument("--rungs", type=int, default=3,
+                         help="halving rungs over the workload suite")
+    explore.add_argument("--out", default=None, metavar="PATH",
+                         help="write the Pareto artifact (JSON) here")
+    explore.add_argument("--require-improvement", action="store_true",
+                         help="exit non-zero unless the front strictly "
+                              "dominates a seeded preset on MPKI-vs-area")
+    explore.add_argument("--golden-check", action="store_true",
+                         help="re-run the frozen tiny search and compare "
+                              "against the committed snapshot")
+    explore.add_argument("--golden-update", action="store_true",
+                         help="regenerate the committed snapshot")
+    explore.add_argument("--golden-path", default=None, metavar="PATH",
+                         help="snapshot location (default: goldens/"
+                              "golden_explore.json)")
+    explore.add_argument("--quiet", action="store_true",
+                         help="suppress per-generation progress lines")
+    explore.set_defaults(func=_cmd_explore)
 
     serve = sub.add_parser(
         "serve",

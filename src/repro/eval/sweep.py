@@ -34,6 +34,10 @@ class DesignPoint:
     area_um2: float
     direction_storage_kib: float
     per_workload_mpki: Dict[str, float]
+    #: Pipeline depth in cycles (the slowest component's response stage) —
+    #: the predict-latency objective ``repro explore`` trades against MPKI
+    #: and area.  0 for points loaded from pre-explore artifacts.
+    predict_latency: int = 0
 
     def dominates(self, other: "DesignPoint") -> bool:
         """Pareto dominance on (accuracy up, area down)."""
@@ -57,6 +61,7 @@ def evaluate_designs(
     cache: Union[None, str, Path, ResultCache] = None,
     telemetry: bool = False,
     backend: str = "cycle",
+    max_instructions: Optional[int] = None,
 ) -> List[DesignPoint]:
     """Run every design over every workload; return one point per design.
 
@@ -69,7 +74,9 @@ def evaluate_designs(
     ``backend`` selects the execution methodology for every cell (see
     :mod:`repro.backends`).  Trace-driven backends report zero IPC, so
     ``harmean_ipc`` is forced to 0.0 for them rather than fed through the
-    harmonic mean (which rejects zeros).
+    harmonic mean (which rejects zeros).  ``max_instructions`` bounds every
+    cell's run (it is part of the cache fingerprint) — the search engine
+    uses it to keep fitness evaluations cheap.
     """
     area_model = area_model or AreaModel()
     config = core_config or CoreConfig()
@@ -83,6 +90,7 @@ def evaluate_designs(
             program=program,
             core_config=config,
             backend=backend,
+            max_instructions=max_instructions,
         )
         for name, factory in designs.items()
         for workload_name, program in programs.items()
@@ -115,6 +123,7 @@ def evaluate_designs(
                 area_um2=area,
                 direction_storage_kib=storage,
                 per_workload_mpki=mpki,
+                predict_latency=reference.depth,
             )
         )
     return points

@@ -1,0 +1,74 @@
+"""Topology design-space exploration (`repro explore`).
+
+COBRA's composer makes new predictor designs one-line topology strings;
+this package searches that space instead of enumerating it.  An
+evolutionary loop with grammar-aware mutation/crossover operators
+(:mod:`~repro.explore.operators`) breeds candidate topologies under a
+storage budget, successive halving (:mod:`~repro.explore.halving`)
+promotes survivors through widening workload budgets, and an exact
+non-dominated archive (:mod:`~repro.explore.pareto`) accumulates the
+MPKI / area / predict-latency Pareto front.  Every fitness call runs
+through the parallel engine's deterministic result cache, so searches
+are resumable: a rerun with the same seed and a warm cache executes zero
+cold jobs.  See ``docs/explore.md``.
+"""
+
+from repro.explore.halving import build_schedule, run_halving
+from repro.explore.operators import (
+    Candidate,
+    candidate_storage_kib,
+    crossover,
+    mutate,
+)
+from repro.explore.pareto import (
+    FrontPoint,
+    ParetoArchive,
+    dominates,
+    non_dominated,
+)
+from repro.explore.population import seed_candidates, seed_population
+from repro.explore.report import (
+    DEFAULT_GOLDEN_PATH,
+    GOLDEN_EXPLORE_CONFIG,
+    check_explore_golden,
+    format_front,
+    format_report,
+    load_artifact,
+    result_payload,
+    save_artifact,
+    update_explore_golden,
+)
+from repro.explore.search import (
+    DEFAULT_WORKLOADS,
+    ExploreConfig,
+    ExploreResult,
+    explore,
+)
+
+__all__ = [
+    "Candidate",
+    "ExploreConfig",
+    "ExploreResult",
+    "FrontPoint",
+    "ParetoArchive",
+    "DEFAULT_GOLDEN_PATH",
+    "DEFAULT_WORKLOADS",
+    "GOLDEN_EXPLORE_CONFIG",
+    "build_schedule",
+    "candidate_storage_kib",
+    "check_explore_golden",
+    "crossover",
+    "dominates",
+    "explore",
+    "format_front",
+    "format_report",
+    "load_artifact",
+    "mutate",
+    "non_dominated",
+    "result_payload",
+    "run_halving",
+    "save_artifact",
+    "seed_candidates",
+    "seed_population",
+    "update_explore_golden",
+]

@@ -1,0 +1,215 @@
+"""Spec-level topology AST the search operators edit.
+
+The composer's :mod:`repro.core.topology` nodes hold live component
+instances — megabytes of counter tables — which makes them the wrong
+substrate for a mutation operator that wants to try "what if this GSHARE
+were a GTAG" a thousand times per search.  This module mirrors the
+grammar at the *spec* level: a :class:`Unit` is just a (base, latency)
+pair, and the three node kinds mirror Leaf/Override/Arbitrate
+structurally.
+
+Parsing deliberately goes **through the real parser**
+(:func:`repro.core.parser.parse_topology`) and converts the instantiated
+tree back to spec level, so this module can never disagree with the
+composer about what a topology string means.  Rendering matches the
+composer's ``describe()`` notation (arbitration children that are
+themselves compositions are parenthesized), so
+``parse(render(node))`` and ``compose(render(node)).describe()`` always
+round-trip.
+
+:func:`repair` is what makes operator output check-clean by
+construction: it re-establishes the latency floors (history consumers
+respond at cycle 2 or later — Fig. 2) and the TOP002 rule (an
+arbitration selector is never faster than the children it arbitrates)
+bottom-up after any structural edit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import Iterator, List, Tuple, Union
+
+from repro.core.parser import parse_topology
+from repro.core.topology import Arbitrate, Leaf, Override, TopologyNode
+from repro.fuzz.generate import FAST_BASES, random_unit
+
+#: Latencies stay single-digit: deep pipelines stop being interesting well
+#: before cycle 6, and bounded latencies keep generated specs readable.
+MAX_LATENCY = 6
+
+
+@dataclass(frozen=True)
+class Unit:
+    """One component draw: library base name plus response latency."""
+
+    base: str
+    latency: int
+
+    def render(self) -> str:
+        return f"{self.base}{self.latency}"
+
+    @property
+    def floor(self) -> int:
+        """The smallest legal latency for this base (Fig. 2 timing)."""
+        return 1 if self.base in FAST_BASES else 2
+
+
+Node = Union["UnitNode", "OverrideNode", "ArbNode"]
+
+
+@dataclass(frozen=True)
+class UnitNode:
+    """A single sub-component (a topology leaf)."""
+
+    unit: Unit
+
+
+@dataclass(frozen=True)
+class OverrideNode:
+    """``hi > lo``: ``hi`` provides the final prediction where it hits."""
+
+    hi: Unit
+    lo: Node
+
+
+@dataclass(frozen=True)
+class ArbNode:
+    """A selector arbitrating two or more children (``SEL > [a, b]``)."""
+
+    selector: Unit
+    children: Tuple[Node, ...]
+
+
+# ----------------------------------------------------------------------
+# Render / parse
+# ----------------------------------------------------------------------
+def render(node: Node) -> str:
+    """The node in the paper's notation, matching ``describe()`` output."""
+    if isinstance(node, UnitNode):
+        return node.unit.render()
+    if isinstance(node, OverrideNode):
+        return f"{node.hi.render()} > {render(node.lo)}"
+    inner = ", ".join(
+        f"({render(child)})" if not isinstance(child, UnitNode) else render(child)
+        for child in node.children
+    )
+    return f"{node.selector.render()} > [{inner}]"
+
+
+def _from_topology(tree: TopologyNode) -> Node:
+    """Convert an instantiated topology tree back to spec level."""
+
+    def unit_of(component) -> Unit:
+        base = getattr(component, "base_name", None) or component.name.upper()
+        return Unit(base=base, latency=component.latency)
+
+    if isinstance(tree, Leaf):
+        return UnitNode(unit_of(tree.component))
+    if isinstance(tree, Override):
+        return OverrideNode(unit_of(tree.hi), _from_topology(tree.lo))
+    if isinstance(tree, Arbitrate):
+        return ArbNode(
+            unit_of(tree.selector),
+            tuple(_from_topology(child) for child in tree.children),
+        )
+    raise TypeError(f"unknown topology node {type(tree).__name__}")
+
+
+def parse(spec: str) -> Node:
+    """Parse a topology string into the spec-level AST.
+
+    Goes through :func:`repro.core.parser.parse_topology` with the
+    standard library, so anything this function accepts the composer
+    accepts too (and vice versa) — the operators cannot drift from the
+    real grammar.
+    """
+    from repro.components.library import standard_library
+
+    return _from_topology(parse_topology(spec, standard_library()))
+
+
+# ----------------------------------------------------------------------
+# Structure queries
+# ----------------------------------------------------------------------
+def units(node: Node) -> List[Unit]:
+    """Every unit in the sub-tree, in render order."""
+    if isinstance(node, UnitNode):
+        return [node.unit]
+    if isinstance(node, OverrideNode):
+        return [node.hi, *units(node.lo)]
+    out = [node.selector]
+    for child in node.children:
+        out.extend(units(child))
+    return out
+
+
+def max_latency(node: Node) -> int:
+    return max(unit.latency for unit in units(node))
+
+
+#: A path addresses a sub-tree: each step descends into ``OverrideNode.lo``
+#: (step -1) or ``ArbNode.children[step]``.
+Path = Tuple[int, ...]
+
+
+def subtrees(node: Node, prefix: Path = ()) -> Iterator[Tuple[Path, Node]]:
+    """Every sub-tree with its path, root first."""
+    yield prefix, node
+    if isinstance(node, OverrideNode):
+        yield from subtrees(node.lo, prefix + (-1,))
+    elif isinstance(node, ArbNode):
+        for i, child in enumerate(node.children):
+            yield from subtrees(child, prefix + (i,))
+
+
+def replace_subtree(node: Node, path: Path, new: Node) -> Node:
+    """A copy of ``node`` with the sub-tree at ``path`` replaced."""
+    if not path:
+        return new
+    step, rest = path[0], path[1:]
+    if isinstance(node, OverrideNode):
+        if step != -1:
+            raise ValueError(f"override node has no child {step}")
+        return replace(node, lo=replace_subtree(node.lo, rest, new))
+    if isinstance(node, ArbNode):
+        children = list(node.children)
+        children[step] = replace_subtree(children[step], rest, new)
+        return replace(node, children=tuple(children))
+    raise ValueError("path descends below a leaf")
+
+
+# ----------------------------------------------------------------------
+# Repair: check-clean by construction
+# ----------------------------------------------------------------------
+def repair(node: Node) -> Node:
+    """Re-establish the error-severity invariants after a structural edit.
+
+    Bottom-up: every unit's latency is clamped to [its floor, MAX_LATENCY],
+    and every arbitration selector is made at least as slow as its slowest
+    child (TOP002) with a floor of 2 (selectors consume history).  Latency
+    inversions along override chains are only warnings (TOP001), so they
+    are left to the operators' judgement.
+    """
+
+    def fix_unit(unit: Unit, floor: int = 0) -> Unit:
+        lo = max(unit.floor, floor)
+        return replace(unit, latency=min(MAX_LATENCY, max(lo, unit.latency)))
+
+    if isinstance(node, UnitNode):
+        return UnitNode(fix_unit(node.unit))
+    if isinstance(node, OverrideNode):
+        return OverrideNode(fix_unit(node.hi), repair(node.lo))
+    children = tuple(repair(child) for child in node.children)
+    floor = max(2, max(max_latency(child) for child in children))
+    return ArbNode(fix_unit(node.selector, floor=floor), children)
+
+
+def random_chain(rng: random.Random, max_units: int = 3) -> Node:
+    """A small random override chain (used to grow fresh material)."""
+    base, latency = random_unit(rng)
+    node: Node = UnitNode(Unit(base, latency))
+    for _ in range(rng.randint(0, max_units - 1)):
+        base, latency = random_unit(rng)
+        node = OverrideNode(Unit(base, latency), node)
+    return repair(node)

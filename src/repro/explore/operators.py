@@ -1,0 +1,324 @@
+"""Grammar-aware mutation and crossover over topology candidates.
+
+Every operator edits the spec-level AST (:mod:`repro.explore.grammar`)
+and runs :func:`~repro.explore.grammar.repair` on the result, so operator
+output is check-clean by construction: it parses (the AST mirrors the
+real grammar), history consumers keep latency >= 2, and arbitration
+selectors stay at least as slow as their children (TOP002).  The operator
+catalog:
+
+- ``swap_base``   — replace one component base within its speed class
+  (fast PC-only bases swap among themselves, history consumers likewise).
+- ``retime``      — nudge one unit's latency by +/-1 within its legal range.
+- ``resize``      — re-draw one ``standard_library`` sizing from the
+  spec-declared :data:`repro.spec.LEGAL_SIZINGS` (or drop it back to the
+  default).
+- ``add_override``— insert a fresh unit above a random sub-tree.
+- ``drop_unit``   — remove an override head, or collapse an arbitration
+  to one of its children.
+- ``wrap_arbitrate`` — wrap a sub-tree in a 2-child TOURNEY arbitration
+  against fresh random material.
+- ``crossover``   — splice a random sub-tree of one parent into the other.
+
+:func:`mutate` and :func:`crossover` are the budgeted entry points: they
+retry operator draws until the composed candidate fits the storage
+budget (and the unit-count bound), falling back to the parent — which is
+within budget by induction — when the draw budget runs out.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.explore import grammar
+from repro.explore.grammar import (
+    ArbNode,
+    Node,
+    OverrideNode,
+    Unit,
+    UnitNode,
+)
+from repro.fuzz.generate import (
+    FAST_BASES,
+    HISTORY_BASES,
+    TopologyFactory,
+    random_unit,
+)
+from repro.spec import LEGAL_SIZINGS
+
+#: Library sizing parameters as (name, value) pairs, like TopologyFactory.
+Params = Tuple[Tuple[str, int], ...]
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One point in the design space: a topology spec plus sizings."""
+
+    spec: str
+    params: Params = ()
+    #: Where the candidate came from ("seed:tage_l", "mutate:swap_base",
+    #: "crossover", ...) — provenance for the report, not identity.
+    origin: str = ""
+
+    @property
+    def key(self) -> str:
+        """Content identity: same spec + sizings == same candidate."""
+        text = self.spec + "|" + ",".join(f"{k}={v}" for k, v in self.params)
+        return hashlib.sha256(text.encode()).hexdigest()[:12]
+
+    @property
+    def name(self) -> str:
+        return f"cand-{self.key}"
+
+    def factory(self) -> TopologyFactory:
+        return TopologyFactory(self.spec, self.params)
+
+    def build(self):
+        return self.factory()()
+
+
+def candidate_storage_kib(candidate: Candidate) -> float:
+    """Total storage (direction + targets + metadata) of the candidate."""
+    return candidate.build().total_storage_kib()
+
+
+# ----------------------------------------------------------------------
+# Structural operators (AST -> AST)
+# ----------------------------------------------------------------------
+def _swap_pool(base: str) -> Tuple[str, ...]:
+    if base in FAST_BASES:
+        return FAST_BASES
+    if base in HISTORY_BASES:
+        return HISTORY_BASES
+    return ()  # LOOP/PERC/SC/...: structural operators only
+
+
+def swap_base(rng: random.Random, node: Node) -> Optional[Node]:
+    """Swap one unit's base within its speed class (selectors excluded)."""
+    swappable = [
+        (path, sub)
+        for path, sub in grammar.subtrees(node)
+        if not isinstance(sub, ArbNode)
+        and _swap_pool(_head_unit(sub).base)
+    ]
+    if not swappable:
+        return None
+    path, sub = rng.choice(swappable)
+    unit = _head_unit(sub)
+    pool = [b for b in _swap_pool(unit.base) if b != unit.base]
+    new_unit = replace(unit, base=rng.choice(pool))
+    return grammar.repair(
+        grammar.replace_subtree(node, path, _with_head_unit(sub, new_unit))
+    )
+
+
+def retime(rng: random.Random, node: Node) -> Optional[Node]:
+    """Nudge one unit's latency by +/-1 (repair restores the floors)."""
+    all_subs = list(grammar.subtrees(node))
+    path, sub = rng.choice(all_subs)
+    unit = _head_unit(sub)
+    delta = rng.choice((-1, 1))
+    new_latency = min(grammar.MAX_LATENCY, max(unit.floor, unit.latency + delta))
+    if new_latency == unit.latency:
+        return None
+    new_unit = replace(unit, latency=new_latency)
+    return grammar.repair(
+        grammar.replace_subtree(node, path, _with_head_unit(sub, new_unit))
+    )
+
+
+def add_override(rng: random.Random, node: Node) -> Optional[Node]:
+    """Insert a fresh unit as an override head above a random sub-tree."""
+    path, sub = rng.choice(list(grammar.subtrees(node)))
+    base, latency = random_unit(rng)
+    return grammar.repair(
+        grammar.replace_subtree(node, path, OverrideNode(Unit(base, latency), sub))
+    )
+
+
+def drop_unit(rng: random.Random, node: Node) -> Optional[Node]:
+    """Drop an override head or collapse an arbitration to one child."""
+    droppable = [
+        (path, sub)
+        for path, sub in grammar.subtrees(node)
+        if not isinstance(sub, UnitNode)
+    ]
+    if not droppable:
+        return None  # a single unit: nothing to remove
+    path, sub = rng.choice(droppable)
+    if isinstance(sub, OverrideNode):
+        survivor: Node = sub.lo
+    else:
+        survivor = rng.choice(sub.children)
+    return grammar.repair(grammar.replace_subtree(node, path, survivor))
+
+
+def wrap_arbitrate(rng: random.Random, node: Node) -> Optional[Node]:
+    """Wrap a sub-tree in a TOURNEY arbitration against fresh material.
+
+    TOURNEY takes exactly two ``predict_in`` inputs, so the new node gets
+    exactly two children; repair raises the selector's latency to the
+    slowest child.
+    """
+    if any(isinstance(sub, ArbNode) for _, sub in grammar.subtrees(node)):
+        return None  # one arbitration per design keeps the space tractable
+    path, sub = rng.choice(list(grammar.subtrees(node)))
+    mate = grammar.random_chain(rng, max_units=2)
+    children = (sub, mate) if rng.random() < 0.5 else (mate, sub)
+    wrapped = ArbNode(Unit("TOURNEY", 2), children)
+    return grammar.repair(grammar.replace_subtree(node, path, wrapped))
+
+
+def splice(rng: random.Random, node: Node, donor: Node) -> Optional[Node]:
+    """Crossover: replace a random sub-tree with one cut from the donor."""
+    path, _ = rng.choice(list(grammar.subtrees(node)))
+    _, graft = rng.choice(list(grammar.subtrees(donor)))
+    if path and isinstance(graft, ArbNode):
+        # Grafting an arbitration below the root can nest selectors
+        # arbitrarily deep; take its first child instead.
+        graft = graft.children[0]
+    return grammar.repair(grammar.replace_subtree(node, path, graft))
+
+
+def _head_unit(node: Node) -> Unit:
+    if isinstance(node, UnitNode):
+        return node.unit
+    if isinstance(node, OverrideNode):
+        return node.hi
+    return node.selector
+
+
+def _with_head_unit(node: Node, unit: Unit) -> Node:
+    if isinstance(node, UnitNode):
+        return UnitNode(unit)
+    if isinstance(node, OverrideNode):
+        return replace(node, hi=unit)
+    return replace(node, selector=unit)
+
+
+# ----------------------------------------------------------------------
+# Sizing operator (params -> params)
+# ----------------------------------------------------------------------
+def resize(rng: random.Random, params: Params) -> Params:
+    """Re-draw one spec-declared sizing (or reset it to the default)."""
+    name = rng.choice(sorted(LEGAL_SIZINGS))
+    current = dict(params)
+    choices: List[Optional[int]] = [
+        v for v in LEGAL_SIZINGS[name] if v != current.get(name)
+    ]
+    choices.append(None)  # None == drop back to the library default
+    drawn = rng.choice(choices)
+    if drawn is None:
+        current.pop(name, None)
+    else:
+        current[name] = drawn
+    return tuple(sorted(current.items()))
+
+
+# ----------------------------------------------------------------------
+# Budgeted entry points
+# ----------------------------------------------------------------------
+#: Structural operators with draw weights (resize is handled separately —
+#: it edits sizings, not structure).
+STRUCTURAL_OPERATORS: Dict[
+    str, Tuple[int, Callable[[random.Random, Node], Optional[Node]]]
+] = {
+    "swap_base": (4, swap_base),
+    "retime": (2, retime),
+    "add_override": (3, add_override),
+    "drop_unit": (3, drop_unit),
+    "wrap_arbitrate": (1, wrap_arbitrate),
+}
+
+
+def _admissible(candidate: Candidate, budget_kib: float, max_units: int) -> bool:
+    node = grammar.parse(candidate.spec)
+    if len(grammar.units(node)) > max_units:
+        return False
+    return candidate_storage_kib(candidate) <= budget_kib
+
+
+def _draw_operator(rng: random.Random) -> Tuple[str, Callable]:
+    names = sorted(STRUCTURAL_OPERATORS)
+    weights = [STRUCTURAL_OPERATORS[n][0] for n in names]
+    name = rng.choices(names, weights=weights, k=1)[0]
+    return name, STRUCTURAL_OPERATORS[name][1]
+
+
+def mutate(
+    rng: random.Random,
+    candidate: Candidate,
+    budget_kib: float,
+    max_units: int = 8,
+    attempts: int = 8,
+) -> Candidate:
+    """One budget-respecting mutation of ``candidate``.
+
+    Tries up to ``attempts`` operator draws (structural with probability
+    ~2/3, a sizing re-draw otherwise) and returns the first child that
+    composes within ``budget_kib``; exhausting the draw budget returns
+    the parent unchanged (which satisfies the budget by induction, so the
+    returned candidate always does).
+    """
+    node = grammar.parse(candidate.spec)
+    for _ in range(attempts):
+        if rng.random() < 0.35:
+            child = Candidate(
+                spec=candidate.spec,
+                params=resize(rng, candidate.params),
+                origin="mutate:resize",
+            )
+        else:
+            op_name, operator = _draw_operator(rng)
+            mutated = operator(rng, node)
+            if mutated is None:
+                continue
+            child = Candidate(
+                spec=grammar.render(mutated),
+                params=candidate.params,
+                origin=f"mutate:{op_name}",
+            )
+        if child.key == candidate.key:
+            continue
+        if _admissible(child, budget_kib, max_units):
+            return child
+    return candidate
+
+
+def crossover(
+    rng: random.Random,
+    first: Candidate,
+    second: Candidate,
+    budget_kib: float,
+    max_units: int = 8,
+    attempts: int = 8,
+) -> Candidate:
+    """One budget-respecting splice of ``second`` into ``first``.
+
+    Sizing parameters are inherited per-key: a key both parents size is
+    drawn from either side; keys only one parent sizes carry over.
+    Returns ``first`` unchanged when no admissible child emerges.
+    """
+    node = grammar.parse(first.spec)
+    donor = grammar.parse(second.spec)
+    merged: Dict[str, int] = dict(second.params)
+    merged.update(
+        {k: v for k, v in first.params if k not in merged or rng.random() < 0.5}
+    )
+    for _ in range(attempts):
+        spliced = splice(rng, node, donor)
+        if spliced is None:
+            continue
+        child = Candidate(
+            spec=grammar.render(spliced),
+            params=tuple(sorted(merged.items())),
+            origin="crossover",
+        )
+        if child.key in (first.key, second.key):
+            continue
+        if _admissible(child, budget_kib, max_units):
+            return child
+    return first

@@ -1,0 +1,92 @@
+"""Population seeding for the design-space search.
+
+The initial population mixes the paper's three evaluated designs (their
+topology strings composed over the standard library — the seeds the
+front must learn to beat) with seeded random draws from the same
+generator the fuzzer uses, so the search starts from both "known good"
+and "unexplored" material.  Everything is a pure function of the passed
+RNG; the engine owns the single seeded stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from repro import presets
+from repro.explore.operators import Candidate, candidate_storage_kib
+from repro.fuzz.generate import random_library_params, random_topology_spec
+
+#: The seeded preset designs: name -> topology string over the standard
+#: library.  These are the baselines `repro explore` reports dominance
+#: against.
+SEED_PRESETS: Dict[str, str] = {
+    "tage_l": presets.TAGE_L_TOPOLOGY,
+    "b2": presets.B2_TOPOLOGY,
+    "tourney": presets.TOURNEY_TOPOLOGY,
+}
+
+
+def seed_candidates() -> List[Candidate]:
+    """The preset-derived seed candidates, in a fixed order."""
+    return [
+        Candidate(spec=spec, params=(), origin=f"seed:{name}")
+        for name, spec in SEED_PRESETS.items()
+    ]
+
+
+def random_candidate(rng: random.Random) -> Candidate:
+    """One random draw from the fuzzer's topology/sizing generators."""
+    return Candidate(
+        spec=random_topology_spec(rng),
+        params=random_library_params(rng),
+        origin="seed:random",
+    )
+
+
+def seed_population(
+    rng: random.Random,
+    size: int,
+    budget_kib: float,
+    max_attempts_per_slot: int = 10,
+) -> List[Candidate]:
+    """Presets first, then random draws, deduped and within budget.
+
+    A preset over the storage budget is silently skipped (it still gets
+    evaluated as a baseline — just not searched from).  Random draws that
+    bust the budget are redrawn a bounded number of times.
+    """
+    population: List[Candidate] = []
+    seen: set = set()
+
+    def admit(candidate: Candidate) -> bool:
+        if candidate.key in seen:
+            return False
+        if candidate_storage_kib(candidate) > budget_kib:
+            return False
+        seen.add(candidate.key)
+        population.append(candidate)
+        return True
+
+    for candidate in seed_candidates():
+        if len(population) >= size:
+            break
+        admit(candidate)
+    while len(population) < size:
+        for _ in range(max_attempts_per_slot):
+            if admit(random_candidate(rng)):
+                break
+        else:
+            break  # budget too tight for the generator: stop filling
+    return population
+
+
+def dedup(candidates: List[Candidate]) -> List[Candidate]:
+    """Order-preserving dedup by content key."""
+    seen: set = set()
+    out: List[Candidate] = []
+    for candidate in candidates:
+        if candidate.key not in seen:
+            seen.add(candidate.key)
+            out.append(candidate)
+    return out

@@ -67,13 +67,25 @@ def _max_latency(spec: str) -> int:
     return max(int(ch) for ch in spec if ch.isdigit())
 
 
+def random_unit(rng: random.Random) -> Tuple[str, int]:
+    """Draw one (base, latency) pair, check-clean by construction.
+
+    Fast (PC-only) bases may respond at cycle 1; history consumers start
+    at cycle 2 (the Fig. 2 timing rule CON003 enforces).  Shared with the
+    ``repro.explore`` mutation operators so searched and fuzzed designs
+    draw components from the same pool.
+    """
+    if rng.random() < 0.4:
+        return rng.choice(FAST_BASES), rng.randint(1, 4)
+    return rng.choice(HISTORY_BASES), rng.randint(2, 4)
+
+
 def random_topology_spec(rng: random.Random, depth: int = 0) -> str:
     """A random well-formed, check-clean topology spec in paper notation."""
 
     def unit() -> str:
-        if rng.random() < 0.4:
-            return f"{rng.choice(FAST_BASES)}{rng.randint(1, 4)}"
-        return f"{rng.choice(HISTORY_BASES)}{rng.randint(2, 4)}"
+        base, latency = random_unit(rng)
+        return f"{base}{latency}"
 
     roll = rng.random()
     if depth < 2 and roll < 0.25:

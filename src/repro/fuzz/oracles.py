@@ -40,6 +40,14 @@ reports every disagreement as a :class:`Mismatch`.  The catalog:
     step for step — to the frozen pre-refactor reference implementation
     (:mod:`repro.derive.reference`) on seeded stimulus at the case's
     fuzz-drawn sizing.
+``explore``
+    The `repro explore` search operators applied to the case's topology
+    (at its fuzz-drawn library sizings) must produce children that
+    round-trip through ``parse_topology(describe())``, stay check-clean
+    (zero error-severity topology diagnostics), and respect the storage
+    budget the operator was invoked with — the check-clean-by-construction
+    claim the optimizer rests on, fuzzed over the same topology
+    distribution the other oracles see.
 
 Any exception inside an oracle is itself a finding (subject ``crash``):
 generated inputs must never crash the framework.
@@ -478,6 +486,89 @@ def oracle_derive(case: FuzzCase, scratch: Path) -> List[Mismatch]:
     return mismatches
 
 
+def oracle_explore(case: FuzzCase, scratch: Path) -> List[Mismatch]:
+    """Search-operator outputs must stay legal, check-clean, and budgeted.
+
+    Applies the `repro explore` mutation operators (and one crossover
+    against a fresh random mate) to the case's topology at its fuzz-drawn
+    library sizings, then asserts for every child: the rendered spec
+    composes and round-trips through ``parse_topology(describe())``
+    unchanged; ``repro check`` reports zero error-severity diagnostics;
+    and total storage respects the budget the operator was given.
+    """
+    import random
+
+    from repro.analysis.diagnostics import ERROR
+    from repro.analysis.topology_check import check_topology
+    from repro.explore.operators import (
+        Candidate,
+        candidate_storage_kib,
+        crossover,
+        mutate,
+    )
+    from repro.fuzz.generate import random_topology_spec
+
+    params = (
+        case.predictor_spec.library_params
+        if isinstance(case.predictor_spec, TopologyFactory)
+        else ()
+    )
+    parent = Candidate(spec=case.topology, params=params)
+    # Generous headroom over the parent so structural growth is exercised;
+    # the oracle then holds children to exactly this bound.
+    budget_kib = candidate_storage_kib(parent) * 2.0 + 64.0
+    rng = random.Random(f"cobra-explore-oracle:{case.seed}:{case.case_id}")
+    children = [mutate(rng, parent, budget_kib) for _ in range(3)]
+    mate = Candidate(spec=random_topology_spec(rng), params=params)
+    children.append(crossover(rng, parent, mate, budget_kib))
+
+    mismatches: List[Mismatch] = []
+    for child in children:
+        predictor = child.build()
+        described = predictor.describe()
+        re_described = TopologyFactory(described, child.params)().describe()
+        if re_described != described:
+            mismatches.append(
+                Mismatch(
+                    "explore",
+                    f"roundtrip:{child.origin or 'parent'}",
+                    {"describe": described},
+                    {"describe": re_described},
+                    f"operator output {child.spec!r} does not round-trip "
+                    "through parse_topology(describe())",
+                )
+            )
+            continue
+        errors = [
+            d
+            for d in check_topology(predictor.topology, predictor.config)
+            if d.severity == ERROR
+        ]
+        if errors:
+            mismatches.append(
+                Mismatch(
+                    "explore",
+                    f"check:{child.origin or 'parent'}",
+                    {"errors": []},
+                    {"errors": [f"{d.code}: {d.message}" for d in errors]},
+                    f"operator output {child.spec!r} fails static analysis",
+                )
+            )
+        storage = predictor.total_storage_kib()
+        if storage > budget_kib:
+            mismatches.append(
+                Mismatch(
+                    "explore",
+                    f"budget:{child.origin or 'parent'}",
+                    {"storage_kib_within": budget_kib},
+                    {"storage_kib": storage},
+                    f"operator output {child.spec!r} busts the storage "
+                    "budget it was constructed under",
+                )
+            )
+    return mismatches
+
+
 #: Oracle registry, in default execution order.
 ORACLES: Dict[str, Callable[[FuzzCase, Path], List[Mismatch]]] = {
     "backends": oracle_backends,
@@ -487,6 +578,7 @@ ORACLES: Dict[str, Callable[[FuzzCase, Path], List[Mismatch]]] = {
     "check": oracle_check,
     "spec": oracle_spec,
     "derive": oracle_derive,
+    "explore": oracle_explore,
 }
 
 DEFAULT_ORACLES = tuple(ORACLES)
